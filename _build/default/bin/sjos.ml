@@ -1,0 +1,264 @@
+(* sjos — structural join order selection, command-line front end.
+
+   Subcommands:
+     gen       generate a synthetic data set as XML
+     stats     print statistics for an XML file
+     query     optimize + execute a pattern against an XML file
+     explain   print the chosen plan without executing it
+     table1/2/3, fig7, fig8   regenerate the paper's experiments *)
+
+open Cmdliner
+open Sjos_engine
+
+let dataset_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "mbench" -> Ok Workload.Mbench
+    | "dblp" -> Ok Workload.Dblp
+    | "pers" -> Ok Workload.Pers
+    | _ -> Error (`Msg "expected mbench, dblp or pers")
+  in
+  Arg.conv (parse, fun ppf ds -> Fmt.string ppf (Workload.dataset_name ds))
+
+let algorithm_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "dp" -> Ok Sjos_core.Optimizer.Dp
+    | "dpp" -> Ok Sjos_core.Optimizer.Dpp
+    | "dpp-nl" | "dpp'" -> Ok Sjos_core.Optimizer.Dpp_no_lookahead
+    | "dpap-ld" | "ld" -> Ok Sjos_core.Optimizer.Dpap_ld
+    | "fp" -> Ok Sjos_core.Optimizer.Fp
+    | s when String.length s > 8 && String.sub s 0 8 = "dpap-eb:" -> (
+        match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+        | Some te when te > 0 -> Ok (Sjos_core.Optimizer.Dpap_eb te)
+        | _ -> Error (`Msg "expected dpap-eb:<positive Te>"))
+    | _ -> Error (`Msg "expected dp, dpp, dpp-nl, dpap-eb:<Te>, dpap-ld or fp")
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Sjos_core.Optimizer.name a))
+
+let pattern_arg =
+  let doc =
+    "Query pattern, e.g. 'manager(//employee(/name))'.  '/' is parent-child, \
+     '//' ancestor-descendant; labels allow [@attr='v'] and [.='text'] \
+     predicates and an optional trailing 'order by <Node>'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"FILE" ~doc:"XML document to query.")
+
+let algo_opt =
+  Arg.(
+    value
+    & opt algorithm_conv Sjos_core.Optimizer.Dpp
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Optimizer: dp, dpp (default), dpp-nl, dpap-eb:<Te>, dpap-ld or fp.")
+
+let xpath_flag =
+  Arg.(
+    value & flag
+    & info [ "x"; "xpath" ]
+        ~doc:
+          "Interpret PATTERN as an XPath expression (e.g. \
+           '//manager[.//department]/employee') instead of the native \
+           pattern syntax.")
+
+let parse_pattern ~xpath s =
+  let result =
+    if xpath then Result.map fst (Sjos_pattern.Xpath.compile_opt s)
+    else Sjos_pattern.Parse.pattern_opt s
+  in
+  match result with
+  | Ok p -> p
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let run dataset size output =
+    let doc = Workload.generate ~size dataset in
+    (match output with
+    | Some path -> Sjos_xml.Serializer.to_file path doc
+    | None -> print_string (Sjos_xml.Serializer.to_string doc));
+    Fmt.epr "generated %d nodes (%s)@." (Sjos_xml.Document.size doc)
+      (Workload.dataset_name dataset)
+  in
+  let dataset =
+    Arg.(
+      required
+      & pos 0 (some dataset_conv) None
+      & info [] ~docv:"DATASET" ~doc:"mbench, dblp or pers.")
+  in
+  let size =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "size" ] ~docv:"NODES" ~doc:"Approximate element count.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic data set as XML")
+    Term.(const run $ dataset $ size $ output)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run file =
+    let db = Database.load_file file in
+    Fmt.pr "%a@." Sjos_storage.Stats.pp (Database.stats db);
+    Fmt.pr "@.top tags:@.";
+    List.iteri
+      (fun i (tag, count) ->
+        if i < 15 then Fmt.pr "  %-20s %d@." tag count)
+      (Database.stats db).Sjos_storage.Stats.tag_counts
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print document statistics") Term.(const run $ file)
+
+(* ---------- query ---------- *)
+
+let query_cmd =
+  let run pattern file algorithm limit show xpath =
+    let db = Database.load_file file in
+    let p = parse_pattern ~xpath pattern in
+    let run =
+      Database.run_query ~algorithm ?max_tuples:limit db p
+    in
+    let tuples = run.Database.exec.Sjos_exec.Executor.tuples in
+    Fmt.pr "%d matches in %.2f ms (optimization %.2f ms, %d plans considered)@."
+      (Array.length tuples)
+      (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
+      (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
+      run.Database.opt.Sjos_core.Optimizer.plans_considered;
+    Fmt.pr "execution: %a@." Sjos_exec.Metrics.pp
+      run.Database.exec.Sjos_exec.Executor.metrics;
+    let doc = Database.document db in
+    Array.iteri
+      (fun i tuple ->
+        if i < show then begin
+          let parts =
+            List.init (Sjos_pattern.Pattern.node_count p) (fun slot ->
+                let n =
+                  Sjos_xml.Document.node doc (Sjos_exec.Tuple.get tuple slot)
+                in
+                Fmt.str "%s=%a" (Sjos_pattern.Pattern.name p slot)
+                  Sjos_xml.Node.pp n)
+          in
+          Fmt.pr "  %s@." (String.concat " " parts)
+        end)
+      tuples;
+    if Array.length tuples > show then
+      Fmt.pr "  ... (%d more; raise --show)@." (Array.length tuples - show)
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Abort if an intermediate result exceeds N tuples.")
+  in
+  let show =
+    Arg.(
+      value & opt int 10
+      & info [ "show" ] ~docv:"N" ~doc:"Print at most N matches (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
+    Term.(const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let run pattern file algorithm xpath =
+    let db = Database.load_file file in
+    let p = parse_pattern ~xpath pattern in
+    Fmt.pr "%s@." (Database.explain ~algorithm db p)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the plan the optimizer picks")
+    Term.(const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag)
+
+(* ---------- experiments ---------- *)
+
+let scale_opt =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"S"
+        ~doc:"Scale data set sizes by S (default 1.0; smaller is faster).")
+
+let table1_cmd =
+  let run scale =
+    let sizes ds =
+      max 500 (int_of_float (float_of_int (Workload.default_size ds) *. scale))
+    in
+    Experiment.print_table1
+      (Experiment.table1 ~sizes ~max_tuples:50_000_000 ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (plan quality & opt time)")
+    Term.(const run $ scale_opt)
+
+let table2_cmd =
+  let run scale =
+    let size = max 500 (int_of_float (5_000. *. scale)) in
+    Experiment.print_table2 (Experiment.table2 ~size ())
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce Table 2 (plans considered, Q.Pers.3.d)")
+    Term.(const run $ scale_opt)
+
+let table3_cmd =
+  let run scale max_fold =
+    let base_size = max 200 (int_of_float (2_000. *. scale)) in
+    let folds = List.filter (fun f -> f <= max_fold) [ 1; 10; 100; 500 ] in
+    Experiment.print_table3 (Experiment.table3 ~base_size ~folds ())
+  in
+  let max_fold =
+    Arg.(
+      value & opt int 500
+      & info [ "max-fold" ] ~docv:"F" ~doc:"Largest folding factor to run.")
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce Table 3 (data-size effect)")
+    Term.(const run $ scale_opt $ max_fold)
+
+let fig_cmd name fold doc =
+  let run scale =
+    let base_size = max 200 (int_of_float (2_000. *. scale)) in
+    Experiment.print_figure
+      ~title:(Printf.sprintf "%s: DPAP-EB Te sweep, folding x%d" name fold)
+      (Experiment.figure_te ~base_size ~fold ())
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_opt)
+
+let main =
+  Cmd.group
+    (Cmd.info "sjos" ~version:"1.0.0"
+       ~doc:
+         "Structural join order selection for XML query optimization (Wu, \
+          Patel, Jagadish — ICDE 2003)")
+    [
+      gen_cmd;
+      stats_cmd;
+      query_cmd;
+      explain_cmd;
+      table1_cmd;
+      table2_cmd;
+      table3_cmd;
+      fig_cmd "fig7" 100 "Reproduce Figure 7 (Te sweep at folding x100)";
+      fig_cmd "fig8" 1 "Reproduce Figure 8 (Te sweep at folding x1)";
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/dblp_explore.ml: Array Database Fmt List Parse Pattern Sjos_core Sjos_engine Sjos_exec Sjos_histogram Sjos_pattern Sjos_plan Sjos_storage Sjos_xml Workload

@@ -1,0 +1,1 @@
+examples/dblp_explore.mli:

@@ -1,0 +1,1 @@
+examples/helpers_xml.ml:

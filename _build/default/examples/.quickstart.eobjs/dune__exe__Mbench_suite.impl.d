@@ -1,0 +1,1 @@
+examples/mbench_suite.ml: Array Database Fmt List Pattern Sjos_core Sjos_engine Sjos_exec Sjos_pattern Sjos_plan Sjos_storage Workload Xpath

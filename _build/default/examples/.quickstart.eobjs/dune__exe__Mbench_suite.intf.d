@@ -1,0 +1,1 @@
+examples/mbench_suite.mli:

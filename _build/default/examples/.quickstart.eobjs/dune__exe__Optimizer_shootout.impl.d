@@ -1,0 +1,1 @@
+examples/optimizer_shootout.ml: Database Fmt List Optimizer Sjos_core Sjos_engine Sjos_exec Workload

@@ -1,0 +1,1 @@
+examples/personnel.ml: Array Database Fmt List Optimizer Random_plan Sjos_core Sjos_engine Sjos_exec Sjos_pattern Sjos_storage Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Database Fmt Option Sjos_core Sjos_engine Sjos_exec Sjos_pattern Sjos_plan Sjos_xml

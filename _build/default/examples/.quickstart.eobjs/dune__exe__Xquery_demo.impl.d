@@ -1,0 +1,1 @@
+examples/xquery_demo.ml: Database Fmt Helpers_xml List Sjos_core Sjos_engine Sjos_pattern Sjos_plan Sjos_xml String Xquery

@@ -1,0 +1,1 @@
+examples/xquery_demo.mli:

@@ -1,0 +1,16 @@
+(* A small personnel document shared by example programs. *)
+
+let tiny_company =
+  "<company>\
+   <manager><name>ann</name>\
+   <employee><name>bob</name></employee>\
+   <manager><name>cid</name>\
+   <department><name>sales</name></department>\
+   <employee><name>dan</name></employee>\
+   </manager>\
+   <department><name>ops</name></department>\
+   </manager>\
+   <manager><name>eve</name>\
+   <employee><name>fay</name></employee>\
+   </manager>\
+   </company>"

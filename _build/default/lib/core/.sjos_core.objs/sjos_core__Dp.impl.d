@@ -1,0 +1,1 @@
+lib/core/dp.ml: Hashtbl List Pattern Search Sjos_pattern Status

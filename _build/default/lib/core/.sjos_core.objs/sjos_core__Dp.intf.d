@@ -1,0 +1,1 @@
+lib/core/dp.mli: Plan Search Sjos_plan

@@ -1,0 +1,1 @@
+lib/core/dpp.ml: Array Fp Hashtbl List Pattern Pq Search Sjos_pattern Status

@@ -1,0 +1,1 @@
+lib/core/dpp.mli: Plan Search Sjos_plan

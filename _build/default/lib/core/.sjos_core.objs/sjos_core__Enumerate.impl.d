@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: List Search Status

@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Plan Search Sjos_plan

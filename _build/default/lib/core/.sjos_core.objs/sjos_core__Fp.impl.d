@@ -1,0 +1,1 @@
+lib/core/fp.ml: Cost_model Costing Hashtbl List Option Pattern Plan Search Sjos_cost Sjos_pattern Sjos_plan

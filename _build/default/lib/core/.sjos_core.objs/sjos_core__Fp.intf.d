@@ -1,0 +1,1 @@
+lib/core/fp.mli: Plan Search Sjos_plan

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Dp Dpp Explain Fmt Fp Pattern Plan Printf Search Sjos_pattern Sjos_plan Unix

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Costing Fmt Pattern Plan Sjos_cost Sjos_pattern Sjos_plan

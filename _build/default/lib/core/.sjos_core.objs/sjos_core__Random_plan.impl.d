@@ -1,0 +1,1 @@
+lib/core/random_plan.ml: Cost_model Costing List Pattern Plan Random Search Sjos_cost Sjos_pattern Sjos_plan Status

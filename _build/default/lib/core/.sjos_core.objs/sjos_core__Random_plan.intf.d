@@ -1,0 +1,1 @@
+lib/core/random_plan.mli: Plan Random Search Sjos_plan

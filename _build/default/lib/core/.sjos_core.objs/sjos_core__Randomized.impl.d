@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Cost_model Costing Float List Option Pattern Plan Random Search Sjos_cost Sjos_pattern Sjos_plan Status

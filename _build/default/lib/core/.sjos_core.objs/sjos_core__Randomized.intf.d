@@ -1,0 +1,1 @@
+lib/core/randomized.mli: Plan Search Sjos_plan

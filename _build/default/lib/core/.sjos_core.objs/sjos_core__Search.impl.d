@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Cost_model Costing List Pattern Plan Sjos_cost Sjos_pattern Sjos_plan Status

@@ -1,0 +1,1 @@
+lib/core/search.mli: Costing Pattern Plan Sjos_cost Sjos_pattern Sjos_plan Status

@@ -1,0 +1,1 @@
+lib/core/status.ml: Cost_model Costing Fmt Fun List Pattern Plan Sjos_cost Sjos_pattern Sjos_plan String

@@ -1,0 +1,41 @@
+open Sjos_pattern
+
+let update_min table status =
+  let key = Status.key status in
+  match Hashtbl.find_opt table key with
+  | Some (existing : Status.t) when existing.Status.cost <= status.Status.cost
+    ->
+      ()
+  | _ -> Hashtbl.replace table key status
+
+let run ctx =
+  let start =
+    Status.start ~factors:ctx.Search.factors ~provider:ctx.Search.provider
+      ctx.Search.pat
+  in
+  let levels = Pattern.edge_count ctx.Search.pat in
+  let current : (Status.key, Status.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace current (Status.key start) start;
+  let rec step lv current =
+    if lv = levels then current
+    else begin
+      let next = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun _ status ->
+          List.iter (update_min next) (Search.expand ctx status))
+        current;
+      step (lv + 1) next
+    end
+  in
+  let finals = step 0 current in
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ status ->
+      let cost, plan = Search.finalize ctx status in
+      match !best with
+      | Some (c, _) when c <= cost -> ()
+      | _ -> best := Some (cost, plan))
+    finals;
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "Dp.run: no final status reached"

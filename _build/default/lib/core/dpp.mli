@@ -1,0 +1,37 @@
+(** Dynamic Programming with Pruning (§3.2) and its aggressively-pruned
+    variants (§3.3).
+
+    Best-first search over the status space:
+
+    - {b Expanding Rule} — always expand the un-expanded status with the
+      lowest [Cost + ubCost] (a priority queue);
+    - {b Pruning Rule} — a status is dead once its [Cost] meets or exceeds
+      the cost of the best complete plan found so far, and a status is not
+      re-expanded when a cheaper path to the same status is known;
+    - {b Lookahead Rule} (optional) — deadend statuses are never generated.
+
+    The pruning rule only ever discards statuses that provably cannot lead
+    to a better complete plan, so with [expansion_bound = None] and
+    [left_deep = false] the result is optimal — identical in cost to
+    {!Dp.run}.
+
+    [expansion_bound = Some te] is DPAP-EB: at most [te] statuses are
+    expanded per level, and saturating a level stops expansion of all
+    shallower levels.  [left_deep = true] is DPAP-LD: only statuses with a
+    single composite cluster (the "growing node") are generated. *)
+
+open Sjos_plan
+
+val run :
+  ?lookahead:bool ->
+  ?expansion_bound:int option ->
+  ?left_deep:bool ->
+  ?prioritize_by_ub:bool ->
+  Search.ctx ->
+  float * Plan.t
+(** Defaults: [lookahead = true], [expansion_bound = None],
+    [left_deep = false], [prioritize_by_ub = true] — i.e. plain DPP.
+    [prioritize_by_ub = false] is an ablation: order expansion by
+    accumulated [Cost] alone (Dijkstra-style) instead of [Cost + ubCost];
+    still optimal, but complete plans are found later, so cost-based
+    pruning fires later and more statuses are generated. *)

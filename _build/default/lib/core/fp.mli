@@ -1,0 +1,26 @@
+(** The Fully-Pipelined optimizer (§3.4).
+
+    Only sort-free plans are considered.  By Theorem 3.1 every pattern has
+    a fully-pipelined plan producing results ordered by any chosen node, so
+    the algorithm "picks the pattern up" at each node [N] in turn: it
+    recursively finds, for each sub-pattern hanging off [N], the best
+    pipelined plan ordered by that sub-pattern's root, then tries every
+    order of joining the sub-patterns into [N]'s candidate list.  The join
+    algorithm at each step is forced by pipelining (Stack-Tree-Anc when [N]
+    is the ancestor side, Stack-Tree-Desc otherwise), so the output stays
+    ordered by [N].
+
+    Returns the cheapest fully-pipelined plan — optimal within the FP
+    sub-space, generally close to the global optimum, and found while
+    considering very few alternatives. *)
+
+open Sjos_plan
+
+val run : Search.ctx -> float * Plan.t
+(** When the pattern has an order-by node the search is restricted to
+    plans ordered by it (the [O(|E| * (f-1)!)] case); otherwise all root
+    choices are compared. *)
+
+val best_ordered_by : Search.ctx -> int -> float * Plan.t
+(** Cheapest fully-pipelined plan whose output is ordered by the given
+    pattern node. *)

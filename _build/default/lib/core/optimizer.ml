@@ -1,0 +1,61 @@
+open Sjos_pattern
+open Sjos_plan
+
+type algorithm =
+  | Dp
+  | Dpp
+  | Dpp_no_lookahead
+  | Dpap_eb of int
+  | Dpap_ld
+  | Fp
+
+let name = function
+  | Dp -> "DP"
+  | Dpp -> "DPP"
+  | Dpp_no_lookahead -> "DPP'"
+  | Dpap_eb te -> Printf.sprintf "DPAP-EB(%d)" te
+  | Dpap_ld -> "DPAP-LD"
+  | Fp -> "FP"
+
+let default_te pat = Pattern.edge_count pat
+let all pat = [ Dp; Dpp; Dpap_eb (default_te pat); Dpap_ld; Fp ]
+
+type result = {
+  algorithm : algorithm;
+  plan : Plan.t;
+  est_cost : float;
+  plans_considered : int;
+  statuses_generated : int;
+  statuses_expanded : int;
+  opt_seconds : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let optimize ?factors ~provider algorithm pat =
+  let ctx = Search.make_ctx ?factors ~provider pat in
+  let t0 = now () in
+  let est_cost, plan =
+    match algorithm with
+    | Dp -> Dp.run ctx
+    | Dpp -> Dpp.run ctx
+    | Dpp_no_lookahead -> Dpp.run ~lookahead:false ctx
+    | Dpap_eb te -> Dpp.run ~expansion_bound:(Some te) ctx
+    | Dpap_ld -> Dpp.run ~left_deep:true ctx
+    | Fp -> Fp.run ctx
+  in
+  let opt_seconds = now () -. t0 in
+  {
+    algorithm;
+    plan;
+    est_cost;
+    plans_considered = ctx.Search.considered;
+    statuses_generated = ctx.Search.generated;
+    statuses_expanded = ctx.Search.expanded;
+    opt_seconds;
+  }
+
+let pp_result pat ppf r =
+  Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs@,%s@]"
+    (name r.algorithm) r.est_cost r.plans_considered r.opt_seconds
+    (Explain.to_string pat r.plan)

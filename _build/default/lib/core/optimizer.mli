@@ -1,0 +1,42 @@
+(** Unified optimizer interface over the five algorithms of the paper,
+    with search-effort accounting and wall-clock optimization time. *)
+
+open Sjos_pattern
+open Sjos_plan
+
+type algorithm =
+  | Dp  (** exhaustive dynamic programming (§3.1) *)
+  | Dpp  (** DP with pruning and lookahead (§3.2) *)
+  | Dpp_no_lookahead  (** DPP′ of Table 2 — pruning without lookahead *)
+  | Dpap_eb of int  (** expansion bound [Te] per level (§3.3.1) *)
+  | Dpap_ld  (** left-deep plans only (§3.3.2) *)
+  | Fp  (** fully-pipelined plans only (§3.4) *)
+
+val name : algorithm -> string
+val all : Pattern.t -> algorithm list
+(** The five algorithms evaluated in the paper, with DPAP-EB's [Te] set to
+    the number of pattern edges (the §4.2 default). *)
+
+val default_te : Pattern.t -> int
+(** The paper's default tuning: [Te] = number of edges. *)
+
+type result = {
+  algorithm : algorithm;
+  plan : Plan.t;
+  est_cost : float;  (** estimated cost of [plan] under the cost model *)
+  plans_considered : int;  (** alternative (sub-)plans costed *)
+  statuses_generated : int;
+  statuses_expanded : int;
+  opt_seconds : float;  (** wall-clock time spent optimizing *)
+}
+
+val optimize :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  provider:Costing.provider ->
+  algorithm ->
+  Pattern.t ->
+  result
+(** Run one algorithm over a pattern.  The returned plan is always valid
+    for the pattern ({!Sjos_plan.Properties.validate}). *)
+
+val pp_result : Pattern.t -> result Fmt.t

@@ -1,0 +1,65 @@
+type 'a entry = { prio : float; serial : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_serial : int;  (* FIFO tie-break for equal priorities *)
+}
+
+let create () = { data = [||]; size = 0; next_serial = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b =
+  a.prio < b.prio || (a.prio = b.prio && a.serial < b.serial)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio value =
+  let entry = { prio; serial = t.next_serial; value } in
+  t.next_serial <- t.next_serial + 1;
+  if t.size = Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    let data = Array.make cap entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)

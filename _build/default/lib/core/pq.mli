@@ -1,0 +1,13 @@
+(** A minimal binary min-heap keyed by float priority, used as DPP's
+    priority list of un-expanded statuses. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option

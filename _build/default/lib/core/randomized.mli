@@ -1,0 +1,37 @@
+(** Randomized join-order search — Iterative Improvement and Simulated
+    Annealing in the style of Steinbrunn/Moerkotte/Kemper (VLDB J. 1997),
+    which the paper's related-work section cites as the relational
+    alternative to exhaustive enumeration.
+
+    Both walk the space of complete move sequences: a plan is encoded as
+    the list of random decisions (edge, algorithm, re-sort) taken while
+    transforming the start status into a final status; a {e neighbor}
+    re-randomizes the decision suffix from a random position, i.e. keeps a
+    prefix of the join order and replans the rest.  Cost is the same
+    finalized status cost the exact algorithms use, so results are directly
+    comparable with {!Dp}/{!Dpp}.
+
+    Neither algorithm is part of the paper's five; they serve as ablation
+    baselines showing what the exact/pruned searches buy. *)
+
+open Sjos_plan
+
+val iterative_improvement :
+  ?seed:int -> ?restarts:int -> ?max_stall:int -> Search.ctx -> float * Plan.t
+(** Hill-climb from a random plan, moving to strictly cheaper neighbors;
+    restart from scratch [restarts] times (default 5) and stop a climb
+    after [max_stall] (default 30) non-improving neighbors.  Each costed
+    candidate bumps the context's [considered] counter. *)
+
+val simulated_annealing :
+  ?seed:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  ?steps:int ->
+  Search.ctx ->
+  float * Plan.t
+(** Classic annealing: accept a worse neighbor with probability
+    [exp (-delta / temperature)]; temperature starts at
+    [initial_temperature * cost(start plan)] (factor default 0.1) and is
+    multiplied by [cooling] (default 0.95) every step, for [steps]
+    (default 200) steps.  Returns the best plan ever visited. *)

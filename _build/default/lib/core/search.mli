@@ -1,0 +1,71 @@
+(** Shared search machinery: moves, expansion, deadend lookahead, final
+    sorting, and the counters every algorithm reports.
+
+    A move (Definition 4) evaluates one remaining pattern edge [(u, v)].
+    Stack-Tree joins consume inputs sorted by the join nodes, so the move
+    requires the cluster containing [u] to be ordered by [u] and the
+    cluster containing [v] by [v].  The move picks the join algorithm
+    (Stack-Tree-Anc → output ordered by [u]; Stack-Tree-Desc → by [v]) and
+    may re-sort the output by any other node of the merged cluster that a
+    remaining edge still needs. *)
+
+open Sjos_pattern
+open Sjos_plan
+
+type ctx = {
+  pat : Pattern.t;
+  factors : Sjos_cost.Cost_model.factors;
+  provider : Costing.provider;
+  edges : Pattern.edge array;
+  mutable considered : int;  (** alternative (partial) plans costed *)
+  mutable generated : int;  (** statuses generated *)
+  mutable expanded : int;  (** statuses expanded *)
+}
+
+val make_ctx :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  provider:Costing.provider ->
+  Pattern.t ->
+  ctx
+
+val remaining_edges : ctx -> Status.t -> (int * Pattern.edge) list
+(** Indexed pattern edges not yet evaluated by the status. *)
+
+val edge_joinable : Status.t -> Pattern.edge -> bool
+(** Does the status satisfy the Stack-Tree input-order requirement for the
+    edge? *)
+
+val is_deadend : ctx -> Status.t -> bool
+(** Definition 6: non-final and no remaining edge is joinable. *)
+
+val expand :
+  ?left_deep:bool ->
+  ?lookahead:bool ->
+  ?cost_bound:float ->
+  ctx ->
+  Status.t ->
+  Status.t list
+(** All successor statuses reachable by one move.  Every returned status
+    bumps [considered] and [generated]; the call itself bumps [expanded].
+    With [~left_deep:true], successors with two composite clusters are not
+    generated (the DPAP-LD rule).  With [~lookahead:true], deadend
+    successors are detected one step ahead and never generated nor counted
+    (DPP's Lookahead Rule).  Successors whose accumulated cost reaches
+    [cost_bound] (the cost of the best complete plan found so far) are dead
+    on arrival and are not generated either (the Pruning Rule). *)
+
+val useful_sort_targets : ctx -> joined:int -> merged_mask:int -> int list
+(** Nodes of the merged cluster that some remaining edge still needs as an
+    input order — the only worthwhile output re-sort targets. *)
+
+val finalize : ctx -> Status.t -> float * Plan.t
+(** Cost and plan of a final status, adding the result sort required by the
+    pattern's order-by node, if any.  Raises [Invalid_argument] on a
+    non-final status. *)
+
+val ub_cost : ctx -> Status.t -> float
+(** DPP's [ubCost]: a quick upper-bound style estimate of the cost needed
+    to finish the status — for every remaining edge, a Stack-Tree-Anc join
+    at current cluster cardinalities plus a sort of its output.  Used only
+    to order expansion; pruning relies on [cost] alone, so optimality does
+    not depend on this being a true upper bound. *)

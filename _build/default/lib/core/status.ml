@@ -1,0 +1,47 @@
+open Sjos_pattern
+open Sjos_cost
+open Sjos_plan
+
+type cluster = { mask : int; order : int; plan : Plan.t; card : float }
+type t = { clusters : cluster list; joined : int; cost : float }
+type key = (int * int) list
+
+let key t = List.map (fun c -> (c.mask, c.order)) t.clusters
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let level t = popcount t.joined
+let is_final t = match t.clusters with [ _ ] -> true | _ -> false
+
+let cluster_of t node =
+  List.find (fun c -> c.mask land (1 lsl node) <> 0) t.clusters
+
+let start ~factors ~provider pat =
+  let n = Pattern.node_count pat in
+  let clusters = ref [] in
+  let cost = ref 0.0 in
+  for i = n - 1 downto 0 do
+    let card = provider.Costing.node_card i in
+    cost := !cost +. Cost_model.index_access factors card;
+    clusters :=
+      { mask = 1 lsl i; order = i; plan = Plan.scan i; card } :: !clusters
+  done;
+  { clusters = !clusters; joined = 0; cost = !cost }
+
+let multi_cluster_count t =
+  List.length (List.filter (fun c -> popcount c.mask > 1) t.clusters)
+
+let pp pat ppf t =
+  let pp_cluster ppf c =
+    let members =
+      List.filter_map
+        (fun i ->
+          if c.mask land (1 lsl i) <> 0 then Some (Pattern.name pat i) else None)
+        (List.init (Pattern.node_count pat) Fun.id)
+    in
+    Fmt.pf ppf "{%s|by %s}" (String.concat "" members) (Pattern.name pat c.order)
+  in
+  Fmt.pf ppf "@[%a cost=%.1f@]" (Fmt.list ~sep:Fmt.sp pp_cluster) t.clusters
+    t.cost

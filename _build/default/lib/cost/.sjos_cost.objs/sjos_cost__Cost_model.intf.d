@@ -1,0 +1,1 @@
+lib/cost/cost_model.mli: Fmt

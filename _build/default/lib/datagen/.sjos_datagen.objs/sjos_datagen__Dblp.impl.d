@@ -1,0 +1,1 @@
+lib/datagen/dblp.ml: Builder List Rng Sjos_xml String

@@ -1,0 +1,1 @@
+lib/datagen/folding.ml: Builder Document List Node Sjos_xml

@@ -1,0 +1,1 @@
+lib/datagen/folding.mli: Builder Document Node Sjos_xml

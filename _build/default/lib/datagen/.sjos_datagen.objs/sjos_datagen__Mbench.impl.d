@@ -1,0 +1,1 @@
+lib/datagen/mbench.ml: Builder Rng Sjos_xml

@@ -1,0 +1,1 @@
+lib/datagen/mbench.mli: Document Sjos_xml

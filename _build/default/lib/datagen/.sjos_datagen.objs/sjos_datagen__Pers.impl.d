@@ -1,0 +1,1 @@
+lib/datagen/pers.ml: Builder Rng Sjos_xml

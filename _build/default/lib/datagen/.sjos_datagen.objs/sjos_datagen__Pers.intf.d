@@ -1,0 +1,1 @@
+lib/datagen/pers.mli: Document Sjos_xml

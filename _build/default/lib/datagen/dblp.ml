@@ -1,0 +1,52 @@
+open Sjos_xml
+
+let authors =
+  [ "knuth"; "codd"; "gray"; "stonebraker"; "ullman"; "widom"; "jagadish" ]
+
+let words =
+  [ "query"; "optimization"; "index"; "join"; "xml"; "tree"; "pattern" ]
+
+let generate ?(seed = 2) ~target_nodes () =
+  if target_nodes < 8 then invalid_arg "Dblp.generate: target too small";
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let budget = ref target_nodes in
+  let spend n = budget := !budget - n in
+  let title () =
+    let t =
+      String.concat " "
+        (List.init (2 + Rng.int rng 3) (fun _ -> Rng.pick rng words))
+    in
+    Builder.leaf ~text:t b "title";
+    spend 1
+  in
+  let entry kind =
+    Builder.open_element b kind;
+    spend 1;
+    for _ = 1 to 1 + Rng.int rng 3 do
+      Builder.leaf ~text:(Rng.pick rng authors) b "author";
+      spend 1
+    done;
+    title ();
+    Builder.leaf ~text:(string_of_int (1970 + Rng.int rng 50)) b "year";
+    spend 1;
+    if String.equal kind "inproceedings" then begin
+      Builder.leaf ~text:(Rng.pick rng words) b "booktitle";
+      spend 1
+    end;
+    let cites = Rng.geometric rng ~p:0.3 ~max:4 in
+    for _ = 1 to cites do
+      Builder.open_element b "cite";
+      spend 1;
+      title ();
+      Builder.close_element b
+    done;
+    Builder.close_element b
+  in
+  Builder.open_element b "dblp";
+  spend 1;
+  while !budget > 10 do
+    entry (Rng.pick rng [ "article"; "inproceedings"; "article"; "phdthesis" ])
+  done;
+  Builder.close_element b;
+  Builder.finish b

@@ -1,0 +1,12 @@
+(** Synthetic bibliography in the shape of the DBLP data set: a shallow,
+    wide document — one [dblp] root with many publication entries, each
+    carrying [author]s, a [title], a [year], and occasionally [cite]
+    references.  Shallow data exercises the optimizers in the regime where
+    parent-child joins dominate and candidate lists are large but
+    containment is rare. *)
+
+open Sjos_xml
+
+val generate : ?seed:int -> target_nodes:int -> unit -> Document.t
+(** Deterministic for a given seed (default 2); approximately
+    [target_nodes] elements. *)

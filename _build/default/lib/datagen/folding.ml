@@ -1,0 +1,17 @@
+open Sjos_xml
+
+let rec copy_subtree b doc (n : Node.t) =
+  Builder.open_element b ~attrs:n.Node.attrs n.Node.tag;
+  if n.Node.text <> "" then Builder.text b n.Node.text;
+  List.iter (copy_subtree b doc) (Document.children doc n);
+  Builder.close_element b
+
+let replicate doc f =
+  if f < 1 then invalid_arg "Folding.replicate: factor must be >= 1";
+  let b = Builder.create () in
+  Builder.open_element b "folded";
+  for _ = 1 to f do
+    copy_subtree b doc (Document.root doc)
+  done;
+  Builder.close_element b;
+  Builder.finish b

@@ -1,0 +1,17 @@
+(** Folding-factor replication (§4.3 of the paper): to study the effect of
+    data size, a data set is replicated [f] times under a fresh root,
+    producing documents 10×, 100×, 500× the original.  Every original match
+    appears once per copy, so result cardinalities scale exactly
+    linearly. *)
+
+open Sjos_xml
+
+val replicate : Document.t -> int -> Document.t
+(** [replicate doc f] — a new document whose root carries [f] structurally
+    identical copies of [doc]'s root subtree.  [replicate doc 1] still
+    introduces the fresh root, keeping depths comparable across factors.
+    Raises [Invalid_argument] for [f < 1]. *)
+
+val copy_subtree : Builder.t -> Document.t -> Node.t -> unit
+(** Append a deep copy of the given subtree to the builder's currently
+    open element. *)

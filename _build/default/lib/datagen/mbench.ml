@@ -1,0 +1,46 @@
+open Sjos_xml
+
+let generate ?(seed = 3) ~target_nodes () =
+  if target_nodes < 4 then invalid_arg "Mbench.generate: target too small";
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let budget = ref target_nodes in
+  let unique = ref 0 in
+  let attrs level =
+    let u = !unique in
+    incr unique;
+    [
+      ("aUnique", string_of_int u);
+      ("aLevel", string_of_int level);
+      ("aFour", string_of_int (u mod 4));
+      ("aSixtyFour", string_of_int (u mod 64));
+    ]
+  in
+  let rec nest level =
+    Builder.open_element b ~attrs:(attrs level) "eNest";
+    decr budget;
+    if Rng.float rng < 0.1 && !budget > 0 then begin
+      Builder.leaf ~attrs:[ ("aRef", string_of_int (Rng.int rng 64)) ] b
+        "eOccasional";
+      decr budget
+    end;
+    (* fanout shrinks with depth so the tree is deep but bounded *)
+    let fanout =
+      if level >= 14 then 0
+      else if !budget <= 0 then 0
+      else 1 + Rng.geometric rng ~p:0.55 ~max:3
+    in
+    for _ = 1 to fanout do
+      if !budget > 0 then nest (level + 1)
+    done;
+    Builder.close_element b
+  in
+  (* one eNest root with as many level-1 subtrees as the budget allows, so
+     large targets are actually met (a single recursive tree saturates) *)
+  Builder.open_element b ~attrs:(attrs 0) "eNest";
+  decr budget;
+  while !budget > 2 do
+    nest 1
+  done;
+  Builder.close_element b;
+  Builder.finish b

@@ -1,0 +1,18 @@
+(** Synthetic data in the shape of the Michigan benchmark (Mbench): a
+    single recursive element type [eNest] forming a deep tree, with
+    attributes that carve out selective candidate sets —
+
+    - [aUnique]    — unique integer id;
+    - [aLevel]     — the node's depth;
+    - [aFour]      — [aUnique mod 4];
+    - [aSixtyFour] — [aUnique mod 64];
+
+    plus sparse [eOccasional] leaf children.  Because every node shares the
+    tag [eNest], queries select on attributes, and positional histograms
+    are essential to tell the candidate sets apart. *)
+
+open Sjos_xml
+
+val generate : ?seed:int -> target_nodes:int -> unit -> Document.t
+(** Deterministic for a given seed (default 3); approximately
+    [target_nodes] elements, nested roughly 12-16 levels deep. *)

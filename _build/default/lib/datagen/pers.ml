@@ -1,0 +1,56 @@
+open Sjos_xml
+
+let first_names =
+  [ "alice"; "bob"; "carol"; "dave"; "erin"; "frank"; "grace"; "heidi" ]
+
+let dept_names =
+  [ "sales"; "research"; "support"; "finance"; "operations"; "design" ]
+
+let generate ?(seed = 1) ~target_nodes () =
+  if target_nodes < 4 then invalid_arg "Pers.generate: target too small";
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let budget = ref target_nodes in
+  let spend n = budget := !budget - n in
+  let name b pool =
+    Builder.leaf ~text:(Rng.pick rng pool) b "name";
+    spend 1
+  in
+  let employee () =
+    Builder.open_element b "employee";
+    spend 1;
+    name b first_names;
+    Builder.leaf ~text:(string_of_int (30000 + Rng.int rng 90000)) b "salary";
+    spend 1;
+    Builder.close_element b
+  in
+  let department () =
+    Builder.open_element b "department";
+    spend 1;
+    name b dept_names;
+    Builder.close_element b
+  in
+  (* Managers nest: the deeper the hierarchy, the fewer sub-managers. *)
+  let rec manager depth =
+    Builder.open_element b "manager";
+    spend 1;
+    name b first_names;
+    for _ = 1 to 1 + Rng.int rng 3 do
+      if !budget > 0 then employee ()
+    done;
+    if Rng.float rng < 0.6 && !budget > 0 then department ();
+    if Rng.float rng < 0.25 && !budget > 0 then department ();
+    let recurse_p = if depth > 12 then 0.0 else 0.75 -. (0.02 *. float_of_int depth) in
+    let subs = Rng.geometric rng ~p:recurse_p ~max:3 in
+    for _ = 1 to subs do
+      if !budget > 8 then manager (depth + 1)
+    done;
+    Builder.close_element b
+  in
+  Builder.open_element b "company";
+  spend 1;
+  while !budget > 8 do
+    manager 0
+  done;
+  Builder.close_element b;
+  Builder.finish b

@@ -1,0 +1,16 @@
+(** Synthetic personnel data set, modelled on the AT&T "Pers" data used by
+    the paper (and by the structural-join paper it builds on): a deeply
+    nested management hierarchy.
+
+    Structure: a [company] root holds top-level [manager]s.  Every manager
+    has a [name], some [employee]s (each with a [name] and a [salary]),
+    possibly [department]s (each with a [name]), and recursively nested
+    sub-[manager]s.  Deep manager-in-manager nesting is what makes
+    ancestor-descendant queries on this data interesting. *)
+
+open Sjos_xml
+
+val generate : ?seed:int -> target_nodes:int -> unit -> Document.t
+(** Generate a document with approximately [target_nodes] element nodes
+    (within a few percent; generation stops once the budget is spent).
+    Deterministic for a given seed (default 1). *)

@@ -1,0 +1,24 @@
+(** A small deterministic PRNG (splitmix64) so generated data sets are
+    byte-for-byte reproducible across OCaml versions and platforms —
+    unlike [Stdlib.Random], whose algorithm has changed between releases. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound).  Raises [Invalid_argument] for
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val geometric : t -> p:float -> max:int -> int
+(** Number of Bernoulli([p]) successes before the first failure, capped at
+    [max] — handy for child counts. *)

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Cardinality Cost_model Costing Document Element_index Executor Explain Lazy Optimizer Parser Sjos_core Sjos_cost Sjos_exec Sjos_histogram Sjos_plan Sjos_storage Sjos_xml Stats

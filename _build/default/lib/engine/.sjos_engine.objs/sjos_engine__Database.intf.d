@@ -1,0 +1,1 @@
+lib/engine/database.mli: Document Element_index Executor Optimizer Pattern Sjos_core Sjos_cost Sjos_exec Sjos_pattern Sjos_plan Sjos_storage Sjos_xml Stats

@@ -1,0 +1,1 @@
+lib/engine/experiment.ml: Array Database Executor Float Folding Hashtbl List Optimizer Pattern Printf Random_plan Search Sjos_core Sjos_datagen Sjos_exec Sjos_pattern Unix Workload

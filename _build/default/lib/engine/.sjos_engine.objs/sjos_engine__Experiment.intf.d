@@ -1,0 +1,1 @@
+lib/engine/experiment.mli: Database Optimizer Pattern Sjos_core Sjos_pattern Workload

@@ -1,0 +1,1 @@
+lib/engine/workload.ml: List Parse Pattern Pers Sjos_datagen Sjos_pattern String

@@ -1,0 +1,1 @@
+lib/engine/workload.mli: Document Pattern Sjos_pattern Sjos_xml

@@ -1,0 +1,1 @@
+lib/engine/xquery.ml: Array Axes Builder Candidate Database Document List Node Option Pattern Printf Serializer Sjos_datagen Sjos_exec Sjos_pattern Sjos_storage Sjos_xml String

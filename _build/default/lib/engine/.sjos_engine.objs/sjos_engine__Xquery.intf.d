@@ -1,0 +1,1 @@
+lib/engine/xquery.mli: Builder Database Document Sjos_core Sjos_exec Sjos_pattern Sjos_xml

@@ -1,0 +1,55 @@
+open Sjos_xml
+open Sjos_storage
+open Sjos_histogram
+open Sjos_cost
+open Sjos_plan
+open Sjos_core
+open Sjos_exec
+
+type t = {
+  doc : Document.t;
+  index : Element_index.t;
+  stats : Stats.t Lazy.t;
+  factors : Cost_model.factors;
+  grid : int;
+}
+
+let of_document ?(factors = Cost_model.default) ?(grid = 32) doc =
+  {
+    doc;
+    index = Element_index.build doc;
+    stats = lazy (Stats.compute doc);
+    factors;
+    grid;
+  }
+
+let of_string ?factors ?grid s = of_document ?factors ?grid (Parser.parse_string s)
+let load_file ?factors ?grid p = of_document ?factors ?grid (Parser.parse_file p)
+let document t = t.doc
+let index t = t.index
+let stats t = Lazy.force t.stats
+let factors t = t.factors
+
+let provider t pat =
+  let cards = Cardinality.create ~grid:t.grid t.index pat in
+  {
+    Costing.node_card = Cardinality.node_card cards;
+    cluster_card = Cardinality.cluster_card cards;
+  }
+
+let optimize ?(algorithm = Optimizer.Dpp) t pat =
+  Optimizer.optimize ~factors:t.factors ~provider:(provider t pat) algorithm pat
+
+type query_run = { opt : Optimizer.result; exec : Executor.run }
+
+let execute_plan ?max_tuples t pat plan =
+  Executor.execute ~factors:t.factors ?max_tuples t.index pat plan
+
+let run_query ?algorithm ?max_tuples t pat =
+  let opt = optimize ?algorithm t pat in
+  let exec = execute_plan ?max_tuples t pat opt.Optimizer.plan in
+  { opt; exec }
+
+let explain ?algorithm t pat =
+  let opt = optimize ?algorithm t pat in
+  Explain.with_costs t.factors (provider t pat) pat opt.Optimizer.plan

@@ -1,0 +1,59 @@
+(** The engine façade: an in-memory XML database that ties together
+    storage, statistics, optimization and execution — the role Timber plays
+    in the paper.
+
+    {[
+      let db = Database.of_document doc in
+      let pattern = Sjos_pattern.Parse.pattern "manager(//employee(/name))" in
+      let run = Database.run_query db pattern in
+      Fmt.pr "%d matches@." (Array.length run.exec.tuples)
+    ]} *)
+
+open Sjos_xml
+open Sjos_storage
+open Sjos_pattern
+open Sjos_core
+open Sjos_exec
+
+type t
+
+val of_document :
+  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> Document.t -> t
+(** Index a document and prepare it for querying.  [grid] is the
+    positional-histogram resolution (default 32). *)
+
+val of_string :
+  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> string -> t
+(** Parse XML text and index it. *)
+
+val load_file :
+  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> string -> t
+
+val document : t -> Document.t
+val index : t -> Element_index.t
+val stats : t -> Stats.t
+val factors : t -> Sjos_cost.Cost_model.factors
+
+val provider : t -> Pattern.t -> Sjos_plan.Costing.provider
+(** Histogram-backed cardinality provider for a pattern (memoized per
+    pattern structure for the lifetime of the call result). *)
+
+val optimize : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> Optimizer.result
+(** Pick a plan; default algorithm is [Dpp] (the paper's recommendation
+    when execution time matters). *)
+
+type query_run = { opt : Optimizer.result; exec : Executor.run }
+
+val run_query :
+  ?algorithm:Optimizer.algorithm ->
+  ?max_tuples:int ->
+  t ->
+  Pattern.t ->
+  query_run
+(** Optimize then execute. *)
+
+val execute_plan :
+  ?max_tuples:int -> t -> Pattern.t -> Sjos_plan.Plan.t -> Executor.run
+
+val explain : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> string
+(** The chosen plan, rendered with estimated cardinalities and costs. *)

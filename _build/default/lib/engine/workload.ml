@@ -1,0 +1,44 @@
+open Sjos_pattern
+open Sjos_datagen
+
+type dataset = Mbench | Dblp | Pers
+
+let dataset_name = function
+  | Mbench -> "Mbench"
+  | Dblp -> "DBLP"
+  | Pers -> "Pers"
+
+let all_datasets = [ Mbench; Dblp; Pers ]
+
+let default_size = function Mbench -> 60_000 | Dblp -> 50_000 | Pers -> 5_000
+
+let generate ?size ds =
+  let target_nodes = match size with Some s -> s | None -> default_size ds in
+  match ds with
+  | Mbench -> Sjos_datagen.Mbench.generate ~target_nodes ()
+  | Dblp -> Sjos_datagen.Dblp.generate ~target_nodes ()
+  | Pers -> Pers.generate ~target_nodes ()
+
+type query = { id : string; dataset : dataset; shape : char; pattern : Pattern.t }
+
+let q id dataset shape text =
+  { id; dataset; shape; pattern = Parse.pattern text }
+
+let queries =
+  [
+    q "Q.Mbench.1.a" Mbench 'a'
+      "eNest[@aLevel='2'](//eNest[@aLevel='6'](/eNest[@aLevel='7']))";
+    q "Q.Mbench.2.b" Mbench 'b'
+      "eNest[@aLevel='1'](/eNest[@aLevel='2'],//eNest[@aSixtyFour='3'](/eOccasional))";
+    q "Q.DBLP.1.b" Dblp 'b' "inproceedings(/author,//cite(/title))";
+    q "Q.DBLP.2.c" Dblp 'c' "dblp(//article(/author),//inproceedings(/cite))";
+    q "Q.Pers.1.a" Pers 'a' "manager(//employee(/name))";
+    q "Q.Pers.2.c" Pers 'c' "manager(//employee(/name),//department(/name))";
+    q "Q.Pers.3.d" Pers 'd'
+      "manager(//employee(/name),//manager(/department(/name)))";
+    q "Q.Pers.4.d" Pers 'd'
+      "manager(//department(/name),//manager(/employee(/name)))";
+  ]
+
+let find id = List.find (fun query -> String.equal query.id id) queries
+let q_pers_3_d = find "Q.Pers.3.d"

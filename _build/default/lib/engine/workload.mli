@@ -1,0 +1,35 @@
+(** The paper's experimental workload (§4.1): three data sets and eight
+    queries named [Q.DataSet.QueryNum.Pattern], where the trailing letter
+    is the pattern shape of Figure 6 (see {!Sjos_pattern.Shapes}). *)
+
+open Sjos_xml
+open Sjos_pattern
+
+type dataset = Mbench | Dblp | Pers
+
+val dataset_name : dataset -> string
+val all_datasets : dataset list
+
+val default_size : dataset -> int
+(** Default generated size (element count) used by the benchmarks:
+    Mbench 60k, DBLP 50k, Pers 5k — scaled-down but with the same size
+    ordering as the paper's 740k / 500k / 5k. *)
+
+val generate : ?size:int -> dataset -> Document.t
+(** Deterministic synthetic document for the data set. *)
+
+type query = {
+  id : string;  (** e.g. ["Q.Pers.3.d"] *)
+  dataset : dataset;
+  shape : char;  (** 'a' .. 'd' *)
+  pattern : Pattern.t;
+}
+
+val queries : query list
+(** The eight queries of Table 1, in the paper's order. *)
+
+val find : string -> query
+(** Lookup by id.  Raises [Not_found]. *)
+
+val q_pers_3_d : query
+(** The query used by Tables 2-3 and Figures 7-8. *)

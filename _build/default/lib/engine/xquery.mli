@@ -1,0 +1,59 @@
+(** A miniature XQuery FLWOR front end.
+
+    The paper situates structural join order selection inside Timber's
+    XQuery pipeline: "the XPath expressions used to bind variables in
+    XQuery, along with the conditions in the WHERE clause, can be expressed
+    as the matching of a query pattern tree" (§2.1).  This module closes
+    that loop for a compact FLWOR subset: it compiles for/where clauses
+    into a single pattern tree, lets the cost-based optimizer pick the
+    structural join order, and evaluates the return clause per match.
+
+    Supported grammar:
+
+    {v
+      query   ::= for+ where? "return" item
+      for     ::= "for" "$"NAME "in" source
+      source  ::= absolute-xpath                    first binding
+                | "$"NAME steps                     relative to a binding
+      where   ::= "where" cond ("and" cond)*
+      cond    ::= "$"NAME steps? "=" "'" chars "'"  value condition
+                | "$"NAME steps                     existence condition
+      item    ::= "<" NAME ">" item* "</" NAME ">"  element constructor
+                | "{" "$"NAME "}"                   copy the bound subtree
+                | "{" "$"NAME "/text()" "}"         text content
+                | raw text
+      steps   ::= (("/" | "//") step)+              (see {!Xpath})
+    v}
+
+    Example:
+
+    {v
+      for $m in //manager
+      for $e in $m//employee
+      where $e/name = 'dan' and $m/department
+      return <hit><boss>{$m/name/text()}</boss>{$e}</hit>
+    v}
+
+    Every query evaluates to a fresh document rooted at [<results>] with
+    one child per match. *)
+
+open Sjos_xml
+
+exception Error of string
+
+type compiled = {
+  pattern : Sjos_pattern.Pattern.t;
+  bindings : (string * int) list;  (** variable name -> pattern node *)
+}
+
+val compile : string -> compiled * (Document.t -> Sjos_exec.Tuple.t -> Builder.t -> unit)
+(** Parse and compile; returns the pattern plus the per-match constructor.
+    Raises {!Error} on unsupported input. *)
+
+val run :
+  ?algorithm:Sjos_core.Optimizer.algorithm -> Database.t -> string -> Document.t
+(** Compile, optimize (default DPP), execute, construct results. *)
+
+val run_string :
+  ?algorithm:Sjos_core.Optimizer.algorithm -> Database.t -> string -> string
+(** {!run} rendered as XML text. *)

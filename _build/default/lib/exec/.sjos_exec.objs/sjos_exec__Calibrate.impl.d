@@ -1,0 +1,1 @@
+lib/exec/calibrate.ml: Array Cost_model Float List Metrics Sjos_cost

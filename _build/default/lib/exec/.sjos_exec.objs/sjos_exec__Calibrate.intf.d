@@ -1,0 +1,1 @@
+lib/exec/calibrate.mli: Cost_model Metrics Sjos_cost

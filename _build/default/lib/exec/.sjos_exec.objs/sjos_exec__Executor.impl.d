@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Candidate Cost_model Element_index Metrics Operators Pattern Plan Properties Sjos_cost Sjos_pattern Sjos_plan Sjos_storage Stack_tree Tuple Unix

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Element_index Metrics Pattern Plan Sjos_cost Sjos_pattern Sjos_plan Sjos_storage Tuple

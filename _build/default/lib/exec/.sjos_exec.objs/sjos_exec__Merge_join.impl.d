@@ -1,0 +1,1 @@
+lib/exec/merge_join.ml: Array Axes Document List Metrics Node Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/merge_join.mli: Axes Document Metrics Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/metrics.ml: Cost_model Fmt Sjos_cost

@@ -1,0 +1,1 @@
+lib/exec/naive.ml: Array Axes Candidate Costing Hashtbl List Node Pattern Sjos_pattern Sjos_plan Sjos_storage Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/naive.mli: Element_index Pattern Sjos_pattern Sjos_plan Sjos_storage Tuple

@@ -1,0 +1,1 @@
+lib/exec/operators.ml: Array Float Metrics Tuple

@@ -1,0 +1,1 @@
+lib/exec/operators.mli: Document Metrics Node Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/path_stack.ml: Array Axes Candidate List Metrics Node Pattern Sjos_pattern Sjos_storage Sjos_xml Tuple

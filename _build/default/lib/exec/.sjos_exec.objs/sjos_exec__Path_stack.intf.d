@@ -1,0 +1,1 @@
+lib/exec/path_stack.mli: Element_index Metrics Pattern Sjos_pattern Sjos_storage Tuple

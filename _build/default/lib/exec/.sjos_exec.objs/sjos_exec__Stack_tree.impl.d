@@ -1,0 +1,1 @@
+lib/exec/stack_tree.ml: Array Axes Document List Metrics Node Plan Sjos_plan Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/stack_tree.mli: Axes Document Metrics Plan Sjos_plan Sjos_xml Tuple

@@ -1,0 +1,1 @@
+lib/exec/stream_exec.ml: Array Axes Candidate Document Element_index List Node Pattern Plan Seq Sjos_pattern Sjos_plan Sjos_storage Sjos_xml Tuple Unix

@@ -1,0 +1,1 @@
+lib/exec/stream_exec.mli: Element_index Pattern Plan Seq Sjos_pattern Sjos_plan Sjos_storage Tuple

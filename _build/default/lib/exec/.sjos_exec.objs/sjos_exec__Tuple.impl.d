@@ -1,0 +1,1 @@
+lib/exec/tuple.ml: Array Document Node Sjos_xml String

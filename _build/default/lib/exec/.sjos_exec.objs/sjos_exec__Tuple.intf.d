@@ -1,0 +1,1 @@
+lib/exec/tuple.mli: Document Node Sjos_xml

@@ -1,0 +1,1 @@
+lib/exec/twig_join.ml: Array Axes Candidate Fun Hashtbl List Metrics Node Pattern Sjos_pattern Sjos_storage Sjos_xml Tuple

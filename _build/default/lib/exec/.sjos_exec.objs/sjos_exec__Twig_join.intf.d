@@ -1,0 +1,1 @@
+lib/exec/twig_join.mli: Element_index Metrics Pattern Sjos_pattern Sjos_storage Tuple

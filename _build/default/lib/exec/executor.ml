@@ -1,0 +1,48 @@
+open Sjos_storage
+open Sjos_pattern
+open Sjos_cost
+open Sjos_plan
+
+exception Tuple_limit_exceeded of int
+
+type run = {
+  tuples : Tuple.t array;
+  metrics : Metrics.t;
+  cost_units : float;
+  seconds : float;
+}
+
+let execute ?(factors = Cost_model.default) ?max_tuples index pat plan =
+  (match Properties.validate pat plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.execute: invalid plan: " ^ msg));
+  let doc = Element_index.document index in
+  let width = Pattern.node_count pat in
+  let metrics = Metrics.create () in
+  let check_limit (tuples : Tuple.t array) =
+    match max_tuples with
+    | Some limit when Array.length tuples > limit ->
+        raise (Tuple_limit_exceeded (Array.length tuples))
+    | _ -> tuples
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec eval = function
+    | Plan.Index_scan i ->
+        let candidates = Candidate.select index (Pattern.label pat i) in
+        check_limit (Operators.index_scan ~metrics ~width ~slot:i candidates)
+    | Plan.Sort { input; by } ->
+        Operators.sort ~metrics ~doc ~by (eval input)
+    | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
+        let anc_tuples = eval anc_side in
+        let desc_tuples = eval desc_side in
+        check_limit
+          (Stack_tree.join ~metrics ~doc ~axis:edge.Pattern.axis ~algo
+             ~anc:(anc_tuples, edge.Pattern.anc)
+             ~desc:(desc_tuples, edge.Pattern.desc))
+  in
+  let tuples = eval plan in
+  let seconds = Unix.gettimeofday () -. t0 in
+  { tuples; metrics; cost_units = Metrics.cost_units factors metrics; seconds }
+
+let count_matches ?factors index pat plan =
+  Array.length (execute ?factors index pat plan).tuples

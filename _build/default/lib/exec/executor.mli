@@ -1,0 +1,37 @@
+(** Plan interpretation: run a physical plan against an indexed document
+    and collect both the matches and the operation accounting. *)
+
+open Sjos_storage
+open Sjos_pattern
+open Sjos_plan
+
+exception Tuple_limit_exceeded of int
+(** Raised when an intermediate result exceeds the caller's safety bound —
+    deliberately bad plans on large documents can otherwise exhaust
+    memory. *)
+
+type run = {
+  tuples : Tuple.t array;  (** the pattern matches, one tuple per match *)
+  metrics : Metrics.t;  (** accumulated operation counts *)
+  cost_units : float;  (** metrics weighted by the cost-model factors *)
+  seconds : float;  (** wall-clock execution time *)
+}
+
+val execute :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?max_tuples:int ->
+  Element_index.t ->
+  Pattern.t ->
+  Plan.t ->
+  run
+(** Execute a plan.  Raises [Invalid_argument] when the plan is not valid
+    for the pattern, {!Tuple_limit_exceeded} when an operator's output
+    exceeds [max_tuples] (default: unlimited). *)
+
+val count_matches :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  Element_index.t ->
+  Pattern.t ->
+  Plan.t ->
+  int
+(** Convenience: execute and return the number of matches. *)

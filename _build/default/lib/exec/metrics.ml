@@ -1,0 +1,56 @@
+open Sjos_cost
+
+type t = {
+  mutable index_items : int;
+  mutable stack_ops : int;
+  mutable io_items : int;
+  mutable sorted_items : int;
+  mutable sort_cost : float;
+  mutable output_tuples : int;
+  mutable joins : int;
+  mutable sorts : int;
+}
+
+let create () =
+  {
+    index_items = 0;
+    stack_ops = 0;
+    io_items = 0;
+    sorted_items = 0;
+    sort_cost = 0.0;
+    output_tuples = 0;
+    joins = 0;
+    sorts = 0;
+  }
+
+let reset t =
+  t.index_items <- 0;
+  t.stack_ops <- 0;
+  t.io_items <- 0;
+  t.sorted_items <- 0;
+  t.sort_cost <- 0.0;
+  t.output_tuples <- 0;
+  t.joins <- 0;
+  t.sorts <- 0
+
+let add acc t =
+  acc.index_items <- acc.index_items + t.index_items;
+  acc.stack_ops <- acc.stack_ops + t.stack_ops;
+  acc.io_items <- acc.io_items + t.io_items;
+  acc.sorted_items <- acc.sorted_items + t.sorted_items;
+  acc.sort_cost <- acc.sort_cost +. t.sort_cost;
+  acc.output_tuples <- acc.output_tuples + t.output_tuples;
+  acc.joins <- acc.joins + t.joins;
+  acc.sorts <- acc.sorts + t.sorts
+
+let cost_units (f : Cost_model.factors) t =
+  (f.Cost_model.f_index *. float_of_int t.index_items)
+  +. (f.Cost_model.f_stack *. float_of_int t.stack_ops)
+  +. (f.Cost_model.f_io *. float_of_int t.io_items)
+  +. (f.Cost_model.f_sort *. t.sort_cost)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "idx=%d stack=%d io=%d sorted=%d out=%d joins=%d sorts=%d"
+    t.index_items t.stack_ops t.io_items t.sorted_items t.output_tuples
+    t.joins t.sorts

@@ -1,0 +1,29 @@
+(** Operation accounting for plan execution.
+
+    The executor counts the same quantities the cost model prices —
+    index items fetched, stack push/pop work, buffered intermediate-result
+    IO, items sorted — so that measured "cost units" are directly
+    comparable with the optimizer's estimates, independent of the host
+    machine.  Wall-clock time is tracked alongside. *)
+
+type t = {
+  mutable index_items : int;  (** items produced by index scans *)
+  mutable stack_ops : int;  (** Stack-Tree push+pop operations *)
+  mutable io_items : int;  (** tuples buffered by Stack-Tree-Anc *)
+  mutable sorted_items : int;  (** tuples passed through sorts *)
+  mutable sort_cost : float;  (** accumulated [n log2 n] terms *)
+  mutable output_tuples : int;  (** tuples emitted by joins *)
+  mutable joins : int;
+  mutable sorts : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** Accumulate the second metrics into the first. *)
+
+val cost_units : Sjos_cost.Cost_model.factors -> t -> float
+(** Weighted total in cost-model units:
+    [f_index*index + f_stack*stack + f_io*io + f_sort*sort_cost]. *)
+
+val pp : t Fmt.t

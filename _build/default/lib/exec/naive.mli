@@ -1,0 +1,24 @@
+(** Reference pattern-matching by exhaustive tree search.
+
+    Also serves as the paper's "navigational" strawman (Example 2.2): for
+    each candidate root it scans the relevant subtrees for every pattern
+    edge.  Quadratic in the worst case — used as a correctness oracle for
+    the structural-join executor and to build exact cardinality
+    providers. *)
+
+open Sjos_storage
+open Sjos_pattern
+
+val matches : Element_index.t -> Pattern.t -> Tuple.t list
+(** All matches of the pattern, as full tuples (every slot bound), in no
+    particular order. *)
+
+val count : Element_index.t -> Pattern.t -> int
+
+val cluster_count : Element_index.t -> Pattern.t -> int -> int
+(** [cluster_count index pat mask] — exact number of matches of the
+    sub-pattern induced by the (connected) cluster [mask]. *)
+
+val exact_provider : Element_index.t -> Pattern.t -> Sjos_plan.Costing.provider
+(** A cardinality provider with exact counts (memoized per cluster);
+    useful to isolate optimizer behaviour from estimation error. *)

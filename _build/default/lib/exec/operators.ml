@@ -1,0 +1,17 @@
+
+let index_scan ~metrics ~width ~slot candidates =
+  metrics.Metrics.index_items <-
+    metrics.Metrics.index_items + Array.length candidates;
+  Array.map (fun node -> Tuple.singleton ~width slot node) candidates
+
+let sort ~metrics ~doc ~by tuples =
+  let n = Array.length tuples in
+  metrics.Metrics.sorts <- metrics.Metrics.sorts + 1;
+  metrics.Metrics.sorted_items <- metrics.Metrics.sorted_items + n;
+  if n > 1 then
+    metrics.Metrics.sort_cost <-
+      metrics.Metrics.sort_cost
+      +. (float_of_int n *. (Float.log (float_of_int n) /. Float.log 2.0));
+  let sorted = Array.copy tuples in
+  Array.stable_sort (Tuple.compare_by_slot doc by) sorted;
+  sorted

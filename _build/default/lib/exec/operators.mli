@@ -1,0 +1,14 @@
+(** The non-join physical operators: index scan and sort. *)
+
+open Sjos_xml
+
+val index_scan :
+  metrics:Metrics.t -> width:int -> slot:int -> Node.t array -> Tuple.t array
+(** Turn a document-ordered candidate array into single-binding tuples.
+    Accounts one index item per candidate. *)
+
+val sort :
+  metrics:Metrics.t -> doc:Document.t -> by:int -> Tuple.t array -> Tuple.t array
+(** Stable sort of tuples by the document order of the node bound in slot
+    [by]; accounts [n log2 n] sort cost.  This is the blocking operator:
+    plans that contain it cannot pipeline. *)

@@ -1,0 +1,34 @@
+(** The Stack-Tree family of structural join algorithms
+    (Al-Khalifa et al., ICDE 2002), generalized to tuple inputs.
+
+    Both variants merge two inputs sorted by the document order of their
+    join nodes, maintaining an in-memory stack of nested ancestor-side
+    groups:
+
+    - {b Stack-Tree-Desc} streams its output ordered by the descendant
+      join node — no buffering at all;
+    - {b Stack-Tree-Anc} produces output ordered by the ancestor join
+      node, which requires buffering result pairs in per-stack-entry
+      self/inherit lists until the ancestor is popped — the source of the
+      [2 |AB| f_IO] term in the cost model.
+
+    Inputs are tuple arrays; consecutive tuples sharing the same join node
+    are processed as one group, so duplicate join-node values (the normal
+    case for intermediate results) are handled exactly. *)
+
+open Sjos_xml
+open Sjos_plan
+
+val join :
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  axis:Axes.axis ->
+  algo:Plan.algo ->
+  anc:Tuple.t array * int ->
+  desc:Tuple.t array * int ->
+  Tuple.t array
+(** [join ~metrics ~doc ~axis ~algo ~anc:(ta, sa) ~desc:(td, sd)] joins the
+    tuples of [ta] (whose slot [sa] holds the ancestor-side node, sorted by
+    it) with [td] (slot [sd], sorted by it), returning merged tuples
+    ordered by the ancestor (STJ-Anc) or descendant (STJ-Desc) node.
+    Raises [Invalid_argument] if an input is not sorted by its join slot. *)

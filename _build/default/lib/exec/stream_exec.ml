@@ -1,0 +1,184 @@
+open Sjos_xml
+open Sjos_storage
+open Sjos_pattern
+open Sjos_plan
+
+(* ---------- grouping a tuple stream by its join node ---------- *)
+
+type group = { node : Node.t; tuples : Tuple.t list }
+
+(* Consecutive tuples sharing the node in [slot] become one group; the
+   input must be sorted by that node (guaranteed for valid plans). *)
+let rec groups doc slot (s : Tuple.t Seq.t) : group Seq.t =
+ fun () ->
+  match s () with
+  | Seq.Nil -> Seq.Nil
+  | Seq.Cons (first, rest) ->
+      let id = Tuple.get first slot in
+      let rec collect acc rest =
+        match rest () with
+        | Seq.Cons (t, rest') when Tuple.get t slot = id ->
+            collect (t :: acc) rest'
+        | tail -> (acc, fun () -> tail)
+      in
+      let tuples, rest = collect [ first ] rest in
+      Seq.Cons ({ node = Document.node doc id; tuples }, groups doc slot rest)
+
+let pop_until stack start =
+  let rec go = function
+    | g :: rest when g.node.Node.end_pos < start -> go rest
+    | stack -> stack
+  in
+  go stack
+
+let cross a_tuples d_tuples =
+  List.concat_map (fun ta -> List.map (Tuple.merge ta) d_tuples) a_tuples
+
+(* ---------- Stack-Tree-Desc, streaming ---------- *)
+
+let stj_desc ~axis (ags : group Seq.t) (dgs : group Seq.t) : Tuple.t Seq.t =
+  let rec step ags dgs stack : Tuple.t Seq.t =
+   fun () ->
+    match dgs () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (d, dgs') -> (
+        match ags () with
+        | Seq.Cons (a, ags')
+          when a.node.Node.start_pos < d.node.Node.start_pos ->
+            let stack = pop_until stack a.node.Node.start_pos in
+            step ags' dgs (a :: stack) ()
+        | ags_state ->
+            let ags = fun () -> ags_state in
+            let stack = pop_until stack d.node.Node.start_pos in
+            let pairs =
+              List.concat_map
+                (fun a ->
+                  if Axes.related axis ~anc:a.node ~desc:d.node then
+                    cross a.tuples d.tuples
+                  else [])
+                (List.rev stack)
+            in
+            Seq.append (List.to_seq pairs) (step ags dgs' stack) ())
+  in
+  step ags dgs []
+
+(* ---------- Stack-Tree-Anc, streaming ---------- *)
+
+type anc_entry = {
+  group : group;
+  self_rev : Tuple.t list;
+  inherit_chunks_rev : Tuple.t list list;
+}
+
+let flush_into e = function
+  | [] ->
+      `Emit
+        (List.rev e.self_rev @ List.concat (List.rev e.inherit_chunks_rev))
+  | top :: rest ->
+      let pairs =
+        List.rev e.self_rev @ List.concat (List.rev e.inherit_chunks_rev)
+      in
+      let top =
+        if pairs = [] then top
+        else { top with inherit_chunks_rev = pairs :: top.inherit_chunks_rev }
+      in
+      `Buffered (top :: rest)
+
+let stj_anc ~axis (ags : group Seq.t) (dgs : group Seq.t) : Tuple.t Seq.t =
+  (* pop entries ending before [start]; emitted chunks are collected *)
+  let pop_until stack start =
+    let rec go emitted = function
+      | e :: rest when e.group.node.Node.end_pos < start -> (
+          match flush_into e rest with
+          | `Emit pairs -> go (emitted @ pairs) []
+          | `Buffered stack -> go emitted stack)
+      | stack -> (emitted, stack)
+    in
+    go [] stack
+  in
+  let feed d stack =
+    List.map
+      (fun e ->
+        if Axes.related axis ~anc:e.group.node ~desc:d.node then
+          { e with self_rev = List.rev_append (cross e.group.tuples d.tuples) e.self_rev }
+        else e)
+      stack
+  in
+  let rec drain stack : Tuple.t Seq.t =
+   fun () ->
+    match stack with
+    | [] -> Seq.Nil
+    | e :: rest -> (
+        match flush_into e rest with
+        | `Emit pairs -> Seq.append (List.to_seq pairs) (drain []) ()
+        | `Buffered stack -> drain stack ())
+  in
+  let rec step ags dgs stack : Tuple.t Seq.t =
+   fun () ->
+    match dgs () with
+    | Seq.Nil -> drain stack ()
+    | Seq.Cons (d, dgs') -> (
+        match ags () with
+        | Seq.Cons (a, ags')
+          when a.node.Node.start_pos < d.node.Node.start_pos ->
+            let emitted, stack = pop_until stack a.node.Node.start_pos in
+            let entry = { group = a; self_rev = []; inherit_chunks_rev = [] } in
+            Seq.append (List.to_seq emitted)
+              (step ags' dgs (entry :: stack))
+              ()
+        | ags_state ->
+            let ags = fun () -> ags_state in
+            let emitted, stack = pop_until stack d.node.Node.start_pos in
+            let stack = feed d stack in
+            Seq.append (List.to_seq emitted) (step ags dgs' stack) ())
+  in
+  step ags dgs []
+
+(* Within [feed], self pairs were prepended in reverse cross order; restore
+   by reversing once at flush: [flush_into] uses [List.rev self_rev]. *)
+
+(* ---------- interpreter ---------- *)
+
+let stream index pat plan =
+  (match Sjos_plan.Properties.validate pat plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Stream_exec.stream: invalid plan: " ^ msg));
+  let doc = Element_index.document index in
+  let width = Pattern.node_count pat in
+  let rec eval = function
+    | Plan.Index_scan i ->
+        let candidates = Candidate.select index (Pattern.label pat i) in
+        Seq.map
+          (fun node -> Tuple.singleton ~width i node)
+          (Array.to_seq candidates)
+    | Plan.Sort { input; by } ->
+        (* blocking: force the input *)
+        let materialized = Array.of_seq (eval input) in
+        Array.stable_sort (Tuple.compare_by_slot doc by) materialized;
+        Array.to_seq materialized
+    | Plan.Structural_join { anc_side; desc_side; edge; algo } -> (
+        let ags = groups doc edge.Pattern.anc (eval anc_side) in
+        let dgs = groups doc edge.Pattern.desc (eval desc_side) in
+        match algo with
+        | Plan.Stack_tree_desc -> stj_desc ~axis:edge.Pattern.axis ags dgs
+        | Plan.Stack_tree_anc -> stj_anc ~axis:edge.Pattern.axis ags dgs)
+  in
+  eval plan
+
+let first_k index pat plan k =
+  stream index pat plan |> Seq.take k |> List.of_seq
+
+let time_to_first index pat plan =
+  let t0 = Unix.gettimeofday () in
+  let s = stream index pat plan in
+  let first =
+    match s () with
+    | Seq.Nil -> Unix.gettimeofday () -. t0
+    | Seq.Cons (_, _) -> Unix.gettimeofday () -. t0
+  in
+  (* drain from scratch for the total (sequences are persistent, but
+     re-evaluating avoids keeping the whole result in memory) *)
+  let t1 = Unix.gettimeofday () in
+  let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (stream index pat plan) in
+  ignore n;
+  (first, Unix.gettimeofday () -. t1)

@@ -1,0 +1,32 @@
+(** A pull-based (streaming) plan interpreter.
+
+    The paper motivates the FP algorithm with the observation that
+    "fully-pipelined plans have the property of producing the initial
+    result tuples quickly, which is desirable in many applications, such as
+    online querying on XML data sources" (§3.4).  The materializing
+    {!Executor} cannot show that property; this interpreter can: operators
+    are lazy sequences, so a consumer that stops after [k] results only
+    pays for the work those [k] results need — unless a blocking operator
+    (sort, and to a lesser degree Stack-Tree-Anc's inherit-list buffering)
+    stands in the way.
+
+    Results are identical to {!Executor.execute} (same plans, same
+    tuples, same order). *)
+
+open Sjos_storage
+open Sjos_pattern
+open Sjos_plan
+
+val stream : Element_index.t -> Pattern.t -> Plan.t -> Tuple.t Seq.t
+(** Lazy evaluation of a valid plan.  Raises [Invalid_argument] on invalid
+    plans (checked eagerly). *)
+
+val first_k : Element_index.t -> Pattern.t -> Plan.t -> int -> Tuple.t list
+(** The first [k] result tuples, computing no more than needed. *)
+
+val time_to_first :
+  Element_index.t -> Pattern.t -> Plan.t -> float * float
+(** [(first, total)] wall-clock seconds: time until the first tuple is
+    available, and time to drain the whole stream.  For fully-pipelined
+    plans [first] is far below [total]; a top-level sort drags [first] up
+    to [total]. *)

@@ -1,0 +1,42 @@
+open Sjos_xml
+
+type t = int array
+
+let unbound = -1
+let create width = Array.make width unbound
+
+let singleton ~width slot (node : Node.t) =
+  let t = create width in
+  t.(slot) <- node.Node.id;
+  t
+
+let get t slot = t.(slot)
+let is_bound t slot = t.(slot) <> unbound
+
+let merge a b =
+  let width = Array.length a in
+  if Array.length b <> width then invalid_arg "Tuple.merge: width mismatch";
+  Array.init width (fun i ->
+      match (a.(i), b.(i)) with
+      | x, y when x = unbound -> y
+      | x, y when y = unbound -> x
+      | _ -> invalid_arg "Tuple.merge: slot bound on both sides")
+
+let bound_mask t =
+  let m = ref 0 in
+  Array.iteri (fun i v -> if v <> unbound then m := !m lor (1 lsl i)) t;
+  !m
+
+let to_string t =
+  "("
+  ^ String.concat ","
+      (Array.to_list
+         (Array.map (fun v -> if v = unbound then "_" else string_of_int v) t))
+  ^ ")"
+
+let equal = ( = )
+
+let compare_by_slot doc slot a b =
+  compare
+    (Document.node doc a.(slot)).Node.start_pos
+    (Document.node doc b.(slot)).Node.start_pos

@@ -1,0 +1,36 @@
+(** Holistic twig join for arbitrary tree patterns, after TwigStack
+    (Bruno, Koudas, Srivastava — SIGMOD 2002), the multi-way join the
+    paper's §6 names as future work for its optimizer.
+
+    Phase 1 streams every candidate set in global document order through a
+    hierarchy of linked stacks (one per pattern node, linked along pattern
+    edges) and emits {e path solutions} — matches of each root-to-leaf
+    pattern path — without materializing any other intermediate result.
+    Phase 2 merge-joins the per-leaf path solutions on their shared prefix
+    nodes to assemble full twig matches.
+
+    Compared to the original TwigStack, phase 1 processes elements in plain
+    global document order instead of using the [getNext] look-ahead; this
+    keeps the algorithm correct for both axes (parent-child edges are
+    post-filtered, as in PathStack) at the price of possibly emitting path
+    solutions that do not survive the merge — the original's I/O-optimality
+    guarantee only holds for descendant-only twigs anyway.
+
+    Path solutions are accounted as buffered IO in the metrics (they must
+    be materialized for the merge), so the ablation against binary
+    Stack-Tree plans is a fair fight in cost units. *)
+
+open Sjos_storage
+open Sjos_pattern
+
+val run : metrics:Metrics.t -> Element_index.t -> Pattern.t -> Tuple.t array
+(** Evaluate any tree pattern holistically.  Result tuples are full
+    matches, in no guaranteed order. *)
+
+val count : Element_index.t -> Pattern.t -> int
+
+val path_solutions :
+  metrics:Metrics.t -> Element_index.t -> Pattern.t -> (int * Tuple.t list) list
+(** Phase 1 only: for each leaf pattern node, the matches of its
+    root-to-leaf path (tuples bind exactly the path's nodes).  Exposed for
+    testing and for callers that want the intermediate representation. *)

@@ -1,0 +1,1 @@
+lib/histogram/cardinality.ml: Array Candidate Document Element_index Estimator Float Hashtbl List Pattern Position_histogram Sjos_pattern Sjos_storage Sjos_xml

@@ -1,0 +1,1 @@
+lib/histogram/cardinality.mli: Element_index Pattern Sjos_pattern Sjos_storage

@@ -1,0 +1,1 @@
+lib/histogram/estimator.ml: Array Float Hashtbl List Position_histogram Sjos_xml

@@ -1,0 +1,1 @@
+lib/histogram/estimator.mli: Position_histogram Sjos_xml

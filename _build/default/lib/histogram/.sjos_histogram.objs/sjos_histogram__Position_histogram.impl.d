@@ -1,0 +1,1 @@
+lib/histogram/position_histogram.ml: Array Float Grid Node Sjos_xml

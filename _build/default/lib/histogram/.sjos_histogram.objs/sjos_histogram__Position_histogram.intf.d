@@ -1,0 +1,1 @@
+lib/histogram/position_histogram.mli: Node Sjos_xml

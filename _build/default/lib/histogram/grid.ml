@@ -1,0 +1,52 @@
+type t = {
+  g : int;
+  cells : float array;  (* g*g, row-major: cell (i,j) at i*g + j *)
+  mutable prefix : float array option;  (* (g+1)*(g+1) prefix sums *)
+}
+
+let create g =
+  if g < 1 then invalid_arg "Grid.create: size must be positive";
+  { g; cells = Array.make (g * g) 0.0; prefix = None }
+
+let size t = t.g
+
+let check t i j =
+  if i < 0 || i >= t.g || j < 0 || j >= t.g then
+    invalid_arg (Printf.sprintf "Grid: cell (%d,%d) out of range" i j)
+
+let add t i j =
+  if t.prefix <> None then invalid_arg "Grid.add: grid already sealed";
+  check t i j;
+  t.cells.((i * t.g) + j) <- t.cells.((i * t.g) + j) +. 1.0
+
+let get t i j =
+  check t i j;
+  t.cells.((i * t.g) + j)
+
+let total t = Array.fold_left ( +. ) 0.0 t.cells
+
+let seal t =
+  let g = t.g in
+  let p = Array.make ((g + 1) * (g + 1)) 0.0 in
+  for i = 1 to g do
+    for j = 1 to g do
+      p.((i * (g + 1)) + j) <-
+        t.cells.(((i - 1) * g) + (j - 1))
+        +. p.(((i - 1) * (g + 1)) + j)
+        +. p.((i * (g + 1)) + j - 1)
+        -. p.(((i - 1) * (g + 1)) + j - 1)
+    done
+  done;
+  t.prefix <- Some p
+
+let range_sum t ~i0 ~i1 ~j0 ~j1 =
+  match t.prefix with
+  | None -> invalid_arg "Grid.range_sum: call seal first"
+  | Some p ->
+      let g = t.g in
+      let i0 = max 0 i0 and j0 = max 0 j0 in
+      let i1 = min (g - 1) i1 and j1 = min (g - 1) j1 in
+      if i0 > i1 || j0 > j1 then 0.0
+      else
+        let at i j = p.((i * (g + 1)) + j) in
+        at (i1 + 1) (j1 + 1) -. at i0 (j1 + 1) -. at (i1 + 1) j0 +. at i0 j0

@@ -1,0 +1,1 @@
+lib/pattern/minimize.ml: Array Axes Candidate Fun Hashtbl List Pattern Sjos_storage Sjos_xml

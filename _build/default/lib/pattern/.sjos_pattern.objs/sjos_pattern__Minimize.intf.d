@@ -1,0 +1,1 @@
+lib/pattern/minimize.mli: Pattern Sjos_storage

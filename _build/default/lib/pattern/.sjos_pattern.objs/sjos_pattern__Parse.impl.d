@@ -1,0 +1,1 @@
+lib/pattern/parse.ml: Array Axes Candidate Char List Pattern Printf Sjos_storage Sjos_xml String

@@ -1,0 +1,1 @@
+lib/pattern/parse.mli: Pattern

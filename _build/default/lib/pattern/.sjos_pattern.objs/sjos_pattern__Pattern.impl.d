@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Axes Buffer Candidate Char Fmt Fun List Printf Sjos_storage Sjos_xml String

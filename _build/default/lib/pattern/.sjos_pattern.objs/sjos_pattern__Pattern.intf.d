@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Axes Candidate Document Fmt Node Sjos_storage Sjos_xml

@@ -1,0 +1,1 @@
+lib/pattern/shapes.ml: Array Candidate List Pattern Printf Sjos_storage

@@ -1,0 +1,1 @@
+lib/pattern/shapes.mli: Axes Candidate Pattern Sjos_storage Sjos_xml

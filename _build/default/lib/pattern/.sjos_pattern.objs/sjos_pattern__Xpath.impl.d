@@ -1,0 +1,1 @@
+lib/pattern/xpath.ml: Array Axes Candidate List Pattern Printf Sjos_storage Sjos_xml String

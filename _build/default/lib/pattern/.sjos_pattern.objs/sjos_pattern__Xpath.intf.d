@@ -1,0 +1,1 @@
+lib/pattern/xpath.mli: Pattern

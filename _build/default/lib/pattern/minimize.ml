@@ -1,0 +1,143 @@
+open Sjos_xml
+open Sjos_storage
+
+let option_subsumes general specific =
+  match general with None -> true | Some _ -> general = specific
+
+let label_subsumes (g : Candidate.spec) (s : Candidate.spec) =
+  option_subsumes g.Candidate.tag s.Candidate.tag
+  && option_subsumes g.Candidate.attr s.Candidate.attr
+  && option_subsumes g.Candidate.text s.Candidate.text
+
+(* All strict descendants of [b] in the pattern tree. *)
+let strict_descendants pat b =
+  let rec go i acc =
+    List.fold_left
+      (fun acc (c, _) -> go c (c :: acc))
+      acc (Pattern.children_of pat i)
+  in
+  go b []
+
+let embeds pat a b =
+  let memo = Hashtbl.create 16 in
+  let rec hom a b =
+    match Hashtbl.find_opt memo (a, b) with
+    | Some r -> r
+    | None ->
+        (* guard against cycles is unnecessary: the recursion strictly
+           descends both subtrees *)
+        let r =
+          label_subsumes (Pattern.label pat a) (Pattern.label pat b)
+          && List.for_all
+               (fun (ca, (ea : Pattern.edge)) ->
+                 match ea.Pattern.axis with
+                 | Axes.Child ->
+                     List.exists
+                       (fun (cb, (eb : Pattern.edge)) ->
+                         eb.Pattern.axis = Axes.Child && hom ca cb)
+                       (Pattern.children_of pat b)
+                 | Axes.Descendant ->
+                     List.exists (fun d -> hom ca d) (strict_descendants pat b))
+               (Pattern.children_of pat a)
+        in
+        Hashtbl.replace memo (a, b) r;
+        r
+  in
+  hom a b
+
+(* Is the branch rooted at [child] (attached to [parent] via [axis])
+   redundant: can it embed elsewhere strictly below [parent], outside
+   itself? *)
+let branch_redundant pat parent (child, (edge : Pattern.edge)) =
+  let in_branch = strict_descendants pat child in
+  let in_branch = child :: in_branch in
+  let candidates =
+    match edge.Pattern.axis with
+    | Axes.Child ->
+        (* must map to another parent-child child of the same parent *)
+        List.filter_map
+          (fun (c, (e : Pattern.edge)) ->
+            if c <> child && e.Pattern.axis = Axes.Child then Some c else None)
+          (Pattern.children_of pat parent)
+    | Axes.Descendant ->
+        List.filter
+          (fun d -> not (List.mem d in_branch))
+          (strict_descendants pat parent)
+  in
+  List.exists (fun target -> embeds pat child target) candidates
+
+let redundant_child pat ~keep =
+  let contains_kept child =
+    let members = child :: strict_descendants pat child in
+    List.exists (fun k -> List.mem k members) keep
+  in
+  let result = ref None in
+  for parent = 0 to Pattern.node_count pat - 1 do
+    if !result = None then
+      List.iter
+        (fun (child, edge) ->
+          if
+            !result = None
+            && (not (contains_kept child))
+            && branch_redundant pat parent (child, edge)
+          then result := Some (parent, child))
+        (Pattern.children_of pat parent)
+  done;
+  !result
+
+(* Rebuild the pattern without the subtree rooted at [drop]. *)
+let remove_branch pat drop =
+  let n = Pattern.node_count pat in
+  let dead = drop :: strict_descendants pat drop in
+  let mapping = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if not (List.mem i dead) then begin
+      mapping.(i) <- !next;
+      incr next
+    end
+  done;
+  let labels =
+    Array.of_list
+      (List.filter_map
+         (fun i ->
+           if mapping.(i) >= 0 then Some (Pattern.label pat i) else None)
+         (List.init n Fun.id))
+  in
+  let edges =
+    Pattern.edges pat
+    |> List.filter_map (fun (e : Pattern.edge) ->
+           if mapping.(e.Pattern.anc) >= 0 && mapping.(e.Pattern.desc) >= 0
+           then
+             Some (mapping.(e.Pattern.anc), e.Pattern.axis, mapping.(e.Pattern.desc))
+           else None)
+    |> Array.of_list
+  in
+  let order_by =
+    match Pattern.order_by pat with
+    | Some o when mapping.(o) >= 0 -> Some mapping.(o)
+    | _ -> None
+  in
+  (Pattern.create ?order_by ~labels ~edges (), mapping)
+
+let minimize ?keep pat =
+  let keep =
+    match keep with
+    | Some k -> k
+    | None -> ( match Pattern.order_by pat with Some o -> [ o ] | None -> [])
+  in
+  let compose outer inner =
+    Array.map (fun v -> if v < 0 then -1 else outer.(v)) inner
+  in
+  let rec go pat mapping keep =
+    match redundant_child pat ~keep with
+    | None -> (pat, mapping)
+    | Some (_, child) ->
+        let pat', step = remove_branch pat child in
+        let keep' = List.filter_map (fun k ->
+            if step.(k) >= 0 then Some step.(k) else None) keep
+        in
+        go pat' (compose step mapping) keep'
+  in
+  let identity = Array.init (Pattern.node_count pat) Fun.id in
+  go pat identity keep

@@ -1,0 +1,160 @@
+open Sjos_xml
+open Sjos_storage
+
+exception Syntax_error of { pos : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Syntax_error { pos = st.pos; message })
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let skip_spaces st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t' || peek st = '\n') do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_spaces st;
+  if peek st = c then st.pos <- st.pos + 1
+  else fail st (Printf.sprintf "expected %C" c)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  skip_spaces st;
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let read_quoted st =
+  expect st '\'';
+  let start = st.pos in
+  while (not (eof st)) && peek st <> '\'' do
+    st.pos <- st.pos + 1
+  done;
+  if eof st then fail st "unterminated string";
+  let s = String.sub st.src start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  s
+
+(* label ::= ("*" | TAG) predicate* *)
+let read_label st =
+  skip_spaces st;
+  let tag =
+    if peek st = '*' then begin
+      st.pos <- st.pos + 1;
+      None
+    end
+    else Some (read_name st)
+  in
+  let spec = ref { Candidate.any with tag } in
+  let rec predicates () =
+    skip_spaces st;
+    if peek st = '[' then begin
+      st.pos <- st.pos + 1;
+      skip_spaces st;
+      (match peek st with
+      | '@' ->
+          st.pos <- st.pos + 1;
+          let attr = read_name st in
+          expect st '=';
+          let value = read_quoted st in
+          spec := { !spec with Candidate.attr = Some (attr, value) }
+      | '.' ->
+          st.pos <- st.pos + 1;
+          expect st '=';
+          let value = read_quoted st in
+          spec := { !spec with Candidate.text = Some value }
+      | _ -> fail st "expected '@attr=' or '.=' in predicate");
+      expect st ']';
+      predicates ()
+    end
+  in
+  predicates ();
+  !spec
+
+(* Parse into an accumulating node/edge list; returns the node index. *)
+let rec read_step st nodes edges =
+  let spec = read_label st in
+  let idx = List.length !nodes in
+  nodes := !nodes @ [ spec ];
+  skip_spaces st;
+  if peek st = '(' then begin
+    st.pos <- st.pos + 1;
+    let rec children () =
+      skip_spaces st;
+      let axis =
+        if peek st <> '/' then fail st "expected '/' or '//'"
+        else begin
+          st.pos <- st.pos + 1;
+          if peek st = '/' then begin
+            st.pos <- st.pos + 1;
+            Axes.Descendant
+          end
+          else Axes.Child
+        end
+      in
+      let child = read_step st nodes edges in
+      edges := (idx, axis, child) :: !edges;
+      skip_spaces st;
+      if peek st = ',' then begin
+        st.pos <- st.pos + 1;
+        children ()
+      end
+    in
+    children ();
+    expect st ')'
+  end;
+  idx
+
+let node_of_name st n name =
+  if String.length name = 1 && name.[0] >= 'A' && name.[0] <= 'Z' then begin
+    let i = Char.code name.[0] - Char.code 'A' in
+    if i >= n then fail st ("order-by node out of range: " ^ name);
+    i
+  end
+  else fail st ("expected a node name A..Z, found " ^ name)
+
+let pattern src =
+  let st = { src; pos = 0 } in
+  let nodes = ref [] and edges = ref [] in
+  (* Tolerate a leading '//' or '/' before the root step. *)
+  skip_spaces st;
+  if peek st = '/' then begin
+    st.pos <- st.pos + 1;
+    if peek st = '/' then st.pos <- st.pos + 1
+  end;
+  let root = read_step st nodes edges in
+  assert (root = 0);
+  skip_spaces st;
+  let order_by =
+    if not (eof st) then begin
+      let kw = read_name st in
+      if not (String.equal (String.lowercase_ascii kw) "order") then
+        fail st "trailing input; expected 'order by'";
+      let by = read_name st in
+      if not (String.equal (String.lowercase_ascii by) "by") then
+        fail st "expected 'by'";
+      Some (node_of_name st (List.length !nodes) (read_name st))
+    end
+    else None
+  in
+  skip_spaces st;
+  if not (eof st) then fail st "trailing input";
+  Pattern.create ?order_by
+    ~labels:(Array.of_list !nodes)
+    ~edges:(Array.of_list (List.rev !edges))
+    ()
+
+let pattern_opt src =
+  match pattern src with
+  | p -> Ok p
+  | exception Syntax_error { pos; message } ->
+      Error (Printf.sprintf "pattern syntax error at %d: %s" pos message)
+  | exception Invalid_argument m -> Error m

@@ -1,0 +1,25 @@
+(** Textual pattern syntax.
+
+    Grammar (whitespace-insensitive):
+
+    {v
+      pattern  ::= step ( "order" "by" NAME )?
+      step     ::= label ( "(" edge ("," edge)* ")" )?
+      edge     ::= ("/" | "//") step
+      label    ::= ("*" | TAG) predicate*
+      predicate::= "[@" NAME "=" "'" VALUE "'" "]"      attribute equality
+                 | "[.=" "'" VALUE "'" "]"              text equality
+    v}
+
+    Examples: ["manager(//employee(/name),//manager(/department(/name)))"],
+    ["eNest[@aLevel='4'](//eNest[@aSixtyFour='3'])"],
+    ["a(//b,//c) order by B"] (names [A], [B], ... refer to nodes in
+    pre-order). *)
+
+exception Syntax_error of { pos : int; message : string }
+
+val pattern : string -> Pattern.t
+(** Parse a pattern.  Raises {!Syntax_error}. *)
+
+val pattern_opt : string -> (Pattern.t, string) result
+(** Like {!pattern} but returning a readable error. *)

@@ -1,0 +1,57 @@
+open Sjos_storage
+
+let path labels axes =
+  let n = List.length labels in
+  if List.length axes <> n - 1 then
+    invalid_arg "Shapes.path: need one axis per edge";
+  let edges = List.mapi (fun i axis -> (i, axis, i + 1)) axes in
+  Pattern.create ~labels:(Array.of_list labels) ~edges:(Array.of_list edges) ()
+
+let shape name ~nodes ~structure labels axes =
+  if Array.length labels <> nodes then
+    invalid_arg (Printf.sprintf "Shapes.%s: expected %d labels" name nodes);
+  if Array.length axes <> nodes - 1 then
+    invalid_arg (Printf.sprintf "Shapes.%s: expected %d axes" name (nodes - 1));
+  let edges = Array.mapi (fun i (anc, desc) -> (anc, axes.(i), desc)) structure in
+  Pattern.create ~labels ~edges ()
+
+let a labels axes = shape "a" ~nodes:3 ~structure:[| (0, 1); (1, 2) |] labels axes
+
+let b labels axes =
+  shape "b" ~nodes:4 ~structure:[| (0, 1); (0, 2); (2, 3) |] labels axes
+
+let c labels axes =
+  shape "c" ~nodes:5 ~structure:[| (0, 1); (1, 2); (0, 3); (3, 4) |] labels axes
+
+let d labels axes =
+  shape "d" ~nodes:6
+    ~structure:[| (0, 1); (1, 2); (0, 3); (3, 4); (4, 5) |]
+    labels axes
+
+let of_tags make tags axes =
+  make
+    (Array.of_list (List.map Candidate.of_tag tags))
+    (Array.of_list axes)
+
+let complete_tree ~fanout ~depth label axis =
+  if fanout < 1 || depth < 0 then invalid_arg "Shapes.complete_tree";
+  let labels = ref [] and edges = ref [] and next = ref 0 in
+  let rec build d =
+    let idx = !next in
+    incr next;
+    labels := label :: !labels;
+    if d < depth then
+      for _ = 1 to fanout do
+        let child = build (d + 1) in
+        edges := (idx, axis, child) :: !edges
+      done;
+    idx
+  in
+  let root = build 0 in
+  assert (root = 0);
+  (* edges were accumulated in reverse discovery order; any order is fine
+     for Pattern.create as long as directions are root-to-leaf *)
+  Pattern.create
+    ~labels:(Array.of_list (List.rev !labels))
+    ~edges:(Array.of_list (List.rev !edges))
+    ()

@@ -1,0 +1,177 @@
+open Sjos_xml
+open Sjos_storage
+
+exception Syntax_error of { pos : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Syntax_error { pos = st.pos; message })
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let skip_spaces st =
+  while (not (eof st)) && peek st = ' ' do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name st =
+  skip_spaces st;
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let read_string st =
+  skip_spaces st;
+  if peek st <> '\'' then fail st "expected a quoted string";
+  st.pos <- st.pos + 1;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> '\'' do
+    st.pos <- st.pos + 1
+  done;
+  if eof st then fail st "unterminated string";
+  let s = String.sub st.src start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  s
+
+(* Consume "/" or "//"; None when next token is not a path separator. *)
+let read_axis st =
+  skip_spaces st;
+  if peek st <> '/' then None
+  else begin
+    st.pos <- st.pos + 1;
+    if peek st = '/' then begin
+      st.pos <- st.pos + 1;
+      Some Axes.Descendant
+    end
+    else Some Axes.Child
+  end
+
+(* Growing pattern under construction. *)
+type builder = {
+  mutable labels : Candidate.spec list;  (* reversed *)
+  mutable edges : (int * Axes.axis * int) list;
+  mutable count : int;
+}
+
+let add_node b spec =
+  b.labels <- spec :: b.labels;
+  b.count <- b.count + 1;
+  b.count - 1
+
+let set_label b idx f =
+  b.labels <-
+    List.mapi (fun i l -> if i = b.count - 1 - idx then f l else l) b.labels
+
+let nametest st =
+  skip_spaces st;
+  if peek st = '*' then begin
+    st.pos <- st.pos + 1;
+    None
+  end
+  else Some (read_name st)
+
+(* step attached under [parent] via [axis]; returns the new node index *)
+let rec step st b ~parent ~axis =
+  let tag = nametest st in
+  let idx = add_node b { Candidate.any with Candidate.tag } in
+  (match parent with
+  | Some p -> b.edges <- (p, axis, idx) :: b.edges
+  | None -> ());
+  predicates st b idx;
+  idx
+
+and predicates st b idx =
+  skip_spaces st;
+  if peek st = '[' then begin
+    st.pos <- st.pos + 1;
+    predicate st b idx;
+    skip_spaces st;
+    if peek st <> ']' then fail st "expected ']'";
+    st.pos <- st.pos + 1;
+    predicates st b idx
+  end
+
+and predicate st b idx =
+  skip_spaces st;
+  match peek st with
+  | '@' ->
+      st.pos <- st.pos + 1;
+      let attr = read_name st in
+      skip_spaces st;
+      if peek st <> '=' then fail st "expected '=' after attribute";
+      st.pos <- st.pos + 1;
+      let value = read_string st in
+      set_label b idx (fun l -> { l with Candidate.attr = Some (attr, value) })
+  | '.' when peek2 st = '=' ->
+      st.pos <- st.pos + 2;
+      let value = read_string st in
+      set_label b idx (fun l -> { l with Candidate.text = Some value })
+  | _ ->
+      (* relative path predicate: a branch of the pattern tree.  A leading
+         '.' (the self step, as in [.//b]) is consumed first. *)
+      if peek st = '.' && peek2 st = '/' then st.pos <- st.pos + 1;
+      let axis =
+        match read_axis st with
+        | Some a -> a
+        | None -> Axes.Child (* [b] means [./b] *)
+      in
+      let last = rel_path st b ~parent:idx ~axis in
+      skip_spaces st;
+      if peek st = '=' then begin
+        st.pos <- st.pos + 1;
+        let value = read_string st in
+        set_label b last (fun l -> { l with Candidate.text = Some value })
+      end
+
+and rel_path st b ~parent ~axis =
+  let idx = step st b ~parent:(Some parent) ~axis in
+  match read_axis st with
+  | Some next -> rel_path st b ~parent:idx ~axis:next
+  | None -> idx
+
+let compile src =
+  let st = { src; pos = 0 } in
+  let b = { labels = []; edges = []; count = 0 } in
+  let axis =
+    match read_axis st with
+    | Some a -> a
+    | None -> fail st "an absolute path must start with '/' or '//'"
+  in
+  (* the first step has no pattern parent; its axis relative to the
+     document root is folded into the match semantics: '/a' binds only
+     root elements, which we approximate by the tag test alone ('//a'
+     and '/a' coincide when 'a' is the document root's tag) *)
+  ignore axis;
+  let rec spine parent axis =
+    let idx = step st b ~parent ~axis in
+    match read_axis st with
+    | Some next -> spine (Some idx) next
+    | None -> idx
+  in
+  let result = spine None Axes.Child in
+  skip_spaces st;
+  if not (eof st) then fail st "trailing input";
+  let pattern =
+    Pattern.create ~order_by:result
+      ~labels:(Array.of_list (List.rev b.labels))
+      ~edges:(Array.of_list (List.rev b.edges))
+      ()
+  in
+  (pattern, result)
+
+let compile_opt src =
+  match compile src with
+  | r -> Ok r
+  | exception Syntax_error { pos; message } ->
+      Error (Printf.sprintf "XPath error at %d: %s" pos message)
+  | exception Invalid_argument m -> Error m

@@ -1,0 +1,38 @@
+(** An XPath front end: compiles a practical subset of XPath into query
+    pattern trees (the paper's §2.1: "XPath expressions used to bind
+    variables in XQuery ... can be expressed as the matching of a query
+    pattern tree").
+
+    Supported grammar:
+
+    {v
+      xpath     ::= ("/" | "//") step ( ("/" | "//") step )*
+      step      ::= nametest predicate*
+      nametest  ::= NAME | "*"
+      predicate ::= "[" expr "]"
+      expr      ::= "@" NAME "=" string            attribute equality
+                  | "." "=" string                 text equality
+                  | rel-path ( "=" string )?       existence / value test
+      rel-path  ::= ("/" | "//")? step ( ("/" | "//") step )*
+      string    ::= "'" chars "'"
+    v}
+
+    Examples: [//manager//employee/name],
+    [//manager[.//manager/department]/employee],
+    [//eNest[@aLevel='4']//eNest[@aSixtyFour='3']],
+    [//article[author='knuth']/title].
+
+    The expression compiles to a pattern tree whose spine is the main
+    location path and whose predicates become branches; the returned
+    {e result node} is the pattern node for the final step (the node set an
+    XPath engine would return), and the pattern's order-by is set to it so
+    optimized plans deliver results in document order of the result node,
+    as XPath semantics require. *)
+
+exception Syntax_error of { pos : int; message : string }
+
+val compile : string -> Pattern.t * int
+(** [compile s] is the pattern tree plus the index of the result node.
+    Raises {!Syntax_error} on unsupported or malformed input. *)
+
+val compile_opt : string -> (Pattern.t * int, string) result

@@ -1,0 +1,1 @@
+lib/plan/costing.ml: Cost_model Plan Sjos_cost

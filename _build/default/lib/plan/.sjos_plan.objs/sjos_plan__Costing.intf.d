@@ -1,0 +1,1 @@
+lib/plan/costing.mli: Pattern Plan Sjos_cost Sjos_pattern

@@ -1,0 +1,1 @@
+lib/plan/explain.ml: Axes Buffer Candidate Costing Pattern Plan Printf Sjos_pattern Sjos_storage Sjos_xml

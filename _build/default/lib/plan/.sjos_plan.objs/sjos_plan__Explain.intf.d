@@ -1,0 +1,1 @@
+lib/plan/explain.mli: Costing Pattern Plan Sjos_cost Sjos_pattern

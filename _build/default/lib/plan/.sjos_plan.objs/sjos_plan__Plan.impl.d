@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Fmt Pattern Sjos_pattern

@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Fmt Pattern Sjos_pattern

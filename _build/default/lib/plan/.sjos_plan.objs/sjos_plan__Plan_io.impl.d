@@ -1,0 +1,1 @@
+lib/plan/plan_io.ml: List Pattern Plan Printf Sjos_pattern String

@@ -1,0 +1,1 @@
+lib/plan/plan_io.mli: Pattern Plan Sjos_pattern

@@ -1,0 +1,1 @@
+lib/plan/properties.ml: Pattern Plan Printf Result Sjos_pattern

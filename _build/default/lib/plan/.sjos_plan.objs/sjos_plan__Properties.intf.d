@@ -1,0 +1,1 @@
+lib/plan/properties.mli: Pattern Plan Sjos_pattern

@@ -1,0 +1,23 @@
+open Sjos_cost
+
+type provider = { node_card : int -> float; cluster_card : int -> float }
+
+let constant_provider c =
+  { node_card = (fun _ -> c); cluster_card = (fun _ -> c) }
+
+let operator_cost factors provider = function
+  | Plan.Index_scan i -> Cost_model.index_access factors (provider.node_card i)
+  | Plan.Sort { input; _ } ->
+      Cost_model.sort factors (provider.cluster_card (Plan.nodes_mask input))
+  | Plan.Structural_join { anc_side; desc_side; algo; _ } ->
+      let anc = provider.cluster_card (Plan.nodes_mask anc_side) in
+      let output =
+        provider.cluster_card
+          (Plan.nodes_mask anc_side lor Plan.nodes_mask desc_side)
+      in
+      (match algo with
+      | Plan.Stack_tree_anc -> Cost_model.stack_tree_anc factors ~anc ~output
+      | Plan.Stack_tree_desc -> Cost_model.stack_tree_desc factors ~anc)
+
+let cost factors provider _pat plan =
+  Plan.fold (fun acc op -> acc +. operator_cost factors provider op) 0.0 plan

@@ -1,0 +1,25 @@
+(** Plan cost computation against a cardinality provider.
+
+    The provider abstracts over where cardinalities come from: the
+    positional-histogram estimator during optimization, or an exact oracle
+    in tests.  Clusters are bit masks of pattern nodes (bit [i] = node [i]). *)
+
+open Sjos_pattern
+
+type provider = {
+  node_card : int -> float;  (** candidate-set size of a pattern node *)
+  cluster_card : int -> float;  (** estimated matches of a cluster mask *)
+}
+
+val constant_provider : float -> provider
+(** Every node and cluster has the given cardinality; for tests. *)
+
+val cost : Sjos_cost.Cost_model.factors -> provider -> Pattern.t -> Plan.t -> float
+(** Total estimated cost: index access for every scan, the Stack-Tree
+    formula for every join (with [|A|] the ancestor-side cluster
+    cardinality and [|AB|] the output cluster cardinality), and
+    [n log n] for every sort. *)
+
+val operator_cost :
+  Sjos_cost.Cost_model.factors -> provider -> Plan.t -> float
+(** Cost of the root operator of the given (sub-)plan alone. *)

@@ -1,0 +1,66 @@
+open Sjos_xml
+open Sjos_storage
+open Sjos_pattern
+
+let describe pat = function
+  | Plan.Index_scan i ->
+      Printf.sprintf "IdxScan %s (%s)" (Pattern.name pat i)
+        (Candidate.spec_to_string (Pattern.label pat i))
+  | Plan.Sort { by; _ } -> Printf.sprintf "Sort by %s" (Pattern.name pat by)
+  | Plan.Structural_join { edge; algo; _ } as op ->
+      Printf.sprintf "%s %s%s%s -> ordered by %s" (Plan.algo_to_string algo)
+        (Pattern.name pat edge.Pattern.anc)
+        (Axes.axis_to_string edge.Pattern.axis)
+        (Pattern.name pat edge.Pattern.desc)
+        (Pattern.name pat (Plan.ordered_by op))
+
+let render annotate pat plan =
+  let buf = Buffer.create 256 in
+  let rec emit prefix plan =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (describe pat plan);
+    Buffer.add_string buf (annotate plan);
+    Buffer.add_char buf '\n';
+    let child = prefix ^ "  " in
+    match plan with
+    | Plan.Index_scan _ -> ()
+    | Plan.Sort { input; _ } -> emit child input
+    | Plan.Structural_join { anc_side; desc_side; _ } ->
+        emit child anc_side;
+        emit child desc_side
+  in
+  emit "" plan;
+  Buffer.contents buf
+
+let to_string pat plan = render (fun _ -> "") pat plan
+
+let with_costs factors provider pat plan =
+  let annotate op =
+    let card = provider.Costing.cluster_card (Plan.nodes_mask op) in
+    Printf.sprintf "  [card~%.0f cost~%.1f]" card
+      (Costing.operator_cost factors provider op)
+  in
+  render annotate pat plan
+
+let one_line pat plan =
+  let buf = Buffer.create 64 in
+  let rec emit = function
+    | Plan.Index_scan i -> Buffer.add_string buf (Pattern.name pat i)
+    | Plan.Sort { input; by } ->
+        Buffer.add_string buf "sort[";
+        Buffer.add_string buf (Pattern.name pat by);
+        Buffer.add_string buf "](";
+        emit input;
+        Buffer.add_char buf ')'
+    | Plan.Structural_join { anc_side; desc_side; algo; _ } ->
+        Buffer.add_char buf '(';
+        emit anc_side;
+        Buffer.add_string buf
+          (match algo with
+          | Plan.Stack_tree_anc -> " anc "
+          | Plan.Stack_tree_desc -> " desc ");
+        emit desc_side;
+        Buffer.add_char buf ')'
+  in
+  emit plan;
+  Buffer.contents buf

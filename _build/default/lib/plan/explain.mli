@@ -1,0 +1,26 @@
+(** Human-readable plan rendering, in the spirit of SQL [EXPLAIN]. *)
+
+open Sjos_pattern
+
+val to_string : Pattern.t -> Plan.t -> string
+(** Multi-line operator tree, e.g.:
+
+    {v
+      STJ-Anc A//B -> ordered by A
+      +- IdxScan A (manager)
+      +- Sort by B
+         +- STJ-Desc B/C -> ordered by C
+            ...
+    v} *)
+
+val with_costs :
+  Sjos_cost.Cost_model.factors ->
+  Costing.provider ->
+  Pattern.t ->
+  Plan.t ->
+  string
+(** Like {!to_string} with per-operator estimated cardinalities and costs. *)
+
+val one_line : Pattern.t -> Plan.t -> string
+(** Compact nested form, e.g. ["((A anc B) desc (C))"], for logs and test
+    failure messages. *)

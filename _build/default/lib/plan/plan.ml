@@ -1,0 +1,58 @@
+open Sjos_pattern
+
+type algo = Stack_tree_anc | Stack_tree_desc
+
+type t =
+  | Index_scan of int
+  | Structural_join of {
+      anc_side : t;
+      desc_side : t;
+      edge : Pattern.edge;
+      algo : algo;
+    }
+  | Sort of { input : t; by : int }
+
+let algo_to_string = function
+  | Stack_tree_anc -> "STJ-Anc"
+  | Stack_tree_desc -> "STJ-Desc"
+
+let pp_algo ppf a = Fmt.string ppf (algo_to_string a)
+let scan i = Index_scan i
+let join ~anc_side ~desc_side ~edge ~algo = Structural_join { anc_side; desc_side; edge; algo }
+let sort input ~by = Sort { input; by }
+
+let rec nodes_mask = function
+  | Index_scan i -> 1 lsl i
+  | Structural_join { anc_side; desc_side; _ } ->
+      nodes_mask anc_side lor nodes_mask desc_side
+  | Sort { input; _ } -> nodes_mask input
+
+let ordered_by = function
+  | Index_scan i -> i
+  | Structural_join { edge; algo; _ } -> (
+      match algo with
+      | Stack_tree_anc -> edge.Pattern.anc
+      | Stack_tree_desc -> edge.Pattern.desc)
+  | Sort { by; _ } -> by
+
+let rec join_count = function
+  | Index_scan _ -> 0
+  | Structural_join { anc_side; desc_side; _ } ->
+      1 + join_count anc_side + join_count desc_side
+  | Sort { input; _ } -> join_count input
+
+let rec sort_count = function
+  | Index_scan _ -> 0
+  | Structural_join { anc_side; desc_side; _ } ->
+      sort_count anc_side + sort_count desc_side
+  | Sort { input; _ } -> 1 + sort_count input
+
+let rec fold f acc t =
+  let acc = f acc t in
+  match t with
+  | Index_scan _ -> acc
+  | Structural_join { anc_side; desc_side; _ } ->
+      fold f (fold f acc anc_side) desc_side
+  | Sort { input; _ } -> fold f acc input
+
+let equal = ( = )

@@ -1,0 +1,43 @@
+(** Physical evaluation plans (§2.3 of the paper).
+
+    A plan is a rooted tree of physical operators over a fixed pattern:
+    index scans at the leaves (one per pattern node), binary structural
+    joins (one per pattern edge, with an explicit Stack-Tree algorithm
+    choice), and sort operators wherever an ordering has to be changed.
+
+    Plans are pure descriptions: properties, costing, explanation and
+    execution live in sibling modules. *)
+
+open Sjos_pattern
+
+type algo =
+  | Stack_tree_anc  (** output ordered by the ancestor-side join node *)
+  | Stack_tree_desc  (** output ordered by the descendant-side join node *)
+
+type t =
+  | Index_scan of int  (** scan the candidate set of a pattern node *)
+  | Structural_join of { anc_side : t; desc_side : t; edge : Pattern.edge; algo : algo }
+      (** [anc_side] must contain [edge.anc] and be ordered by it;
+          [desc_side] must contain [edge.desc] and be ordered by it *)
+  | Sort of { input : t; by : int }  (** reorder by a pattern node *)
+
+val algo_to_string : algo -> string
+val pp_algo : algo Fmt.t
+
+val scan : int -> t
+val join : anc_side:t -> desc_side:t -> edge:Pattern.edge -> algo:algo -> t
+val sort : t -> by:int -> t
+
+val nodes_mask : t -> int
+(** Bit mask of the pattern nodes bound by the plan's output. *)
+
+val ordered_by : t -> int
+(** The pattern node whose document order the output follows. *)
+
+val join_count : t -> int
+val sort_count : t -> int
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all operators. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,99 @@
+open Sjos_pattern
+
+let rec to_string pat = function
+  | Plan.Index_scan i -> Printf.sprintf "(scan %s)" (Pattern.name pat i)
+  | Plan.Sort { input; by } ->
+      Printf.sprintf "(sort %s %s)" (Pattern.name pat by) (to_string pat input)
+  | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
+      Printf.sprintf "(%s %s %s %s %s)"
+        (match algo with
+        | Plan.Stack_tree_anc -> "anc"
+        | Plan.Stack_tree_desc -> "desc")
+        (Pattern.name pat edge.Pattern.anc)
+        (Pattern.name pat edge.Pattern.desc)
+        (to_string pat anc_side) (to_string pat desc_side)
+
+(* --- tiny s-expression reader ----------------------------------------- *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Err of string
+
+let parse_sexp src =
+  let pos = ref 0 in
+  let n = String.length src in
+  let peek () = if !pos >= n then '\000' else src.[!pos] in
+  let skip () =
+    while !pos < n && (peek () = ' ' || peek () = '\n' || peek () = '\t') do
+      incr pos
+    done
+  in
+  let rec sexp () =
+    skip ();
+    if !pos >= n then raise (Err "unexpected end of input")
+    else if peek () = '(' then begin
+      incr pos;
+      let items = ref [] in
+      skip ();
+      while peek () <> ')' do
+        if !pos >= n then raise (Err "unterminated list");
+        items := sexp () :: !items;
+        skip ()
+      done;
+      incr pos;
+      List (List.rev !items)
+    end
+    else begin
+      let start = !pos in
+      while
+        !pos < n && peek () <> ' ' && peek () <> '(' && peek () <> ')'
+        && peek () <> '\n' && peek () <> '\t'
+      do
+        incr pos
+      done;
+      if !pos = start then raise (Err "empty atom");
+      Atom (String.sub src start (!pos - start))
+    end
+  in
+  let s = sexp () in
+  skip ();
+  if !pos <> n then raise (Err "trailing input");
+  s
+
+let of_string pat src =
+  let node name =
+    let found = ref None in
+    for i = 0 to Pattern.node_count pat - 1 do
+      if String.equal (Pattern.name pat i) name then found := Some i
+    done;
+    match !found with
+    | Some i -> i
+    | None -> raise (Err ("unknown pattern node " ^ name))
+  in
+  let edge a d =
+    match Pattern.edge_between pat a d with
+    | Some e when e.Pattern.anc = a -> e
+    | _ ->
+        raise
+          (Err
+             (Printf.sprintf "no %s->%s edge in the pattern"
+                (Pattern.name pat a) (Pattern.name pat d)))
+  in
+  let rec build = function
+    | List [ Atom "scan"; Atom name ] -> Plan.scan (node name)
+    | List [ Atom "sort"; Atom name; input ] ->
+        Plan.sort (build input) ~by:(node name)
+    | List [ Atom ("anc" | "desc" as algo); Atom a; Atom d; anc_side; desc_side ]
+      ->
+        let a = node a and d = node d in
+        Plan.join ~anc_side:(build anc_side) ~desc_side:(build desc_side)
+          ~edge:(edge a d)
+          ~algo:
+            (if String.equal algo "anc" then Plan.Stack_tree_anc
+             else Plan.Stack_tree_desc)
+    | Atom a -> raise (Err ("expected a plan form, found atom " ^ a))
+    | List _ -> raise (Err "malformed plan form")
+  in
+  match build (parse_sexp src) with
+  | plan -> Ok plan
+  | exception Err msg -> Error msg

@@ -1,0 +1,24 @@
+(** Textual plan serialization — a stable, re-parseable format so chosen
+    plans can be logged, cached across sessions, diffed in tests, or fed
+    back to the executor ("plan hints").
+
+    Grammar (node names are the pattern's [A], [B], ... display names):
+
+    {v
+      plan ::= (scan NODE)
+             | (sort NODE plan)
+             | (anc NODE NODE plan plan)      Stack-Tree-Anc on edge N1-N2
+             | (desc NODE NODE plan plan)     Stack-Tree-Desc on edge N1-N2
+    v}
+
+    Round-trip guarantee: [of_string pat (to_string pat plan) = Ok plan]
+    for every plan that is valid for [pat]. *)
+
+open Sjos_pattern
+
+val to_string : Pattern.t -> Plan.t -> string
+
+val of_string : Pattern.t -> string -> (Plan.t, string) result
+(** Parse and structurally validate against the pattern (unknown node
+    names, non-edges and malformed syntax are reported; full plan validity
+    is the caller's concern — use {!Properties.validate}). *)

@@ -1,0 +1,1 @@
+lib/storage/candidate.ml: Array Document Element_index Fmt List Node Option Printf Sjos_xml String

@@ -1,0 +1,1 @@
+lib/storage/candidate.mli: Element_index Fmt Node Sjos_xml

@@ -1,0 +1,1 @@
+lib/storage/element_index.ml: Array Document Hashtbl List Node Sjos_xml

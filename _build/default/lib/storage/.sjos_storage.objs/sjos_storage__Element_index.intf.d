@@ -1,0 +1,1 @@
+lib/storage/element_index.mli: Document Node Sjos_xml

@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Document Fmt Hashtbl List Node Sjos_xml

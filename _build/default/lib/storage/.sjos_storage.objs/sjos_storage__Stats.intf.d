@@ -1,0 +1,1 @@
+lib/storage/stats.mli: Document Fmt Sjos_xml

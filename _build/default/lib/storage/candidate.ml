@@ -1,0 +1,49 @@
+open Sjos_xml
+
+type spec = {
+  tag : string option;
+  attr : (string * string) option;
+  text : string option;
+}
+
+let any = { tag = None; attr = None; text = None }
+let of_tag tag = { tag = Some tag; attr = None; text = None }
+
+let matches spec (n : Node.t) =
+  (match spec.tag with Some t -> String.equal t n.Node.tag | None -> true)
+  && (match spec.attr with
+     | Some (k, v) -> Node.has_attr_value n k v
+     | None -> true)
+  && match spec.text with Some s -> String.equal s n.Node.text | None -> true
+
+let select index spec =
+  let base =
+    match (spec.tag, spec.attr) with
+    | Some tag, Some (attr, value) ->
+        Element_index.lookup_attr index ~tag ~attr ~value
+    | Some tag, None -> Element_index.lookup index tag
+    | None, _ -> Document.nodes (Element_index.document index)
+  in
+  (* the attribute predicate is already satisfied when the secondary index
+     answered; only residual predicates need filtering *)
+  let residual =
+    match spec.tag with
+    | Some _ -> { spec with attr = None }
+    | None -> spec
+  in
+  if residual.attr = None && residual.text = None then base
+  else Array.of_list (List.filter (matches residual) (Array.to_list base))
+
+let spec_to_string spec =
+  let tag = Option.value spec.tag ~default:"*" in
+  let attr =
+    match spec.attr with
+    | Some (k, v) -> Printf.sprintf "[@%s='%s']" k v
+    | None -> ""
+  in
+  let text =
+    match spec.text with Some s -> Printf.sprintf "[.='%s']" s | None -> ""
+  in
+  tag ^ attr ^ text
+
+let pp_spec ppf spec = Fmt.string ppf (spec_to_string spec)

@@ -1,0 +1,59 @@
+open Sjos_xml
+
+type t = {
+  doc : Document.t;
+  by_tag : (string, Node.t array) Hashtbl.t;
+  (* (tag, attr) -> value -> sorted nodes; built lazily *)
+  by_attr : (string * string, (string, Node.t array) Hashtbl.t) Hashtbl.t;
+}
+
+let build doc =
+  let buckets : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-order iteration already yields nodes sorted by start position, so
+     each bucket is sorted once the accumulation lists are reversed. *)
+  Document.iter
+    (fun n ->
+      match Hashtbl.find_opt buckets n.Node.tag with
+      | Some l -> l := n :: !l
+      | None -> Hashtbl.add buckets n.Node.tag (ref [ n ]))
+    doc;
+  let by_tag = Hashtbl.create (Hashtbl.length buckets) in
+  Hashtbl.iter
+    (fun tag l -> Hashtbl.replace by_tag tag (Array.of_list (List.rev !l)))
+    buckets;
+  { doc; by_tag; by_attr = Hashtbl.create 8 }
+
+let lookup t tag =
+  match Hashtbl.find_opt t.by_tag tag with Some a -> a | None -> [||]
+
+let lookup_attr t ~tag ~attr ~value =
+  let table =
+    match Hashtbl.find_opt t.by_attr (tag, attr) with
+    | Some table -> table
+    | None ->
+        let buckets : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 16 in
+        Array.iter
+          (fun n ->
+            match Node.attr n attr with
+            | Some v -> (
+                match Hashtbl.find_opt buckets v with
+                | Some l -> l := n :: !l
+                | None -> Hashtbl.add buckets v (ref [ n ]))
+            | None -> ())
+          (lookup t tag);
+        let table = Hashtbl.create (Hashtbl.length buckets) in
+        Hashtbl.iter
+          (fun v l -> Hashtbl.replace table v (Array.of_list (List.rev !l)))
+          buckets;
+        Hashtbl.replace t.by_attr (tag, attr) table;
+        table
+  in
+  match Hashtbl.find_opt table value with Some a -> a | None -> [||]
+
+let cardinality t tag = Array.length (lookup t tag)
+
+let tags t =
+  Hashtbl.fold (fun tag _ acc -> tag :: acc) t.by_tag [] |> List.sort compare
+
+let document t = t.doc
+let total_nodes t = Document.size t.doc

@@ -1,0 +1,63 @@
+open Sjos_xml
+
+type t = {
+  node_count : int;
+  distinct_tags : int;
+  max_depth : int;
+  avg_depth : float;
+  avg_fanout : float;
+  leaf_count : int;
+  tag_counts : (string * int) list;
+}
+
+let compute doc =
+  let n = Document.size doc in
+  let child_counts = Array.make (max n 1) 0 in
+  let depth_sum = ref 0 in
+  let max_depth = ref 0 in
+  let tags : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  Document.iter
+    (fun node ->
+      depth_sum := !depth_sum + node.Node.level;
+      if node.Node.level > !max_depth then max_depth := node.Node.level;
+      if node.Node.parent >= 0 then
+        child_counts.(node.Node.parent) <- child_counts.(node.Node.parent) + 1;
+      match Hashtbl.find_opt tags node.Node.tag with
+      | Some r -> incr r
+      | None -> Hashtbl.add tags node.Node.tag (ref 1))
+    doc;
+  let leaf_count = ref 0 in
+  let fanout_sum = ref 0 in
+  let internal = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if i < n then
+        if c = 0 then incr leaf_count
+        else begin
+          incr internal;
+          fanout_sum := !fanout_sum + c
+        end)
+    child_counts;
+  let tag_counts =
+    Hashtbl.fold (fun tag r acc -> (tag, !r) :: acc) tags []
+    |> List.sort (fun (ta, a) (tb, b) ->
+           match compare b a with 0 -> compare ta tb | c -> c)
+  in
+  {
+    node_count = n;
+    distinct_tags = Hashtbl.length tags;
+    max_depth = !max_depth;
+    avg_depth = (if n = 0 then 0. else float_of_int !depth_sum /. float_of_int n);
+    avg_fanout =
+      (if !internal = 0 then 0.
+       else float_of_int !fanout_sum /. float_of_int !internal);
+    leaf_count = !leaf_count;
+    tag_counts;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>nodes: %d@,tags: %d@,max depth: %d@,avg depth: %.2f@,avg fanout: \
+     %.2f@,leaves: %d@]"
+    t.node_count t.distinct_tags t.max_depth t.avg_depth t.avg_fanout
+    t.leaf_count

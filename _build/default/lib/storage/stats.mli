@@ -1,0 +1,17 @@
+(** Per-document summary statistics, used for reporting and as sanity
+    inputs to the cardinality estimator. *)
+
+open Sjos_xml
+
+type t = {
+  node_count : int;
+  distinct_tags : int;
+  max_depth : int;
+  avg_depth : float;
+  avg_fanout : float;  (** mean number of element children of non-leaves *)
+  leaf_count : int;
+  tag_counts : (string * int) list;  (** sorted by descending count *)
+}
+
+val compute : Document.t -> t
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/xml/axes.ml: Fmt Node

@@ -1,0 +1,1 @@
+lib/xml/axes.mli: Fmt Node

@@ -1,0 +1,1 @@
+lib/xml/builder.ml: Array Buffer Document Hashtbl List Node

@@ -1,0 +1,1 @@
+lib/xml/builder.mli: Document

@@ -1,0 +1,1 @@
+lib/xml/document.ml: Array List Node Printf Result Set String

@@ -1,0 +1,1 @@
+lib/xml/node.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Builder Char Fun List Printf String

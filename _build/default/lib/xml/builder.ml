@@ -1,0 +1,86 @@
+type open_frame = {
+  o_id : int;
+  o_tag : string;
+  o_start : int;
+  o_level : int;
+  o_parent : int;
+  o_attrs : (string * string) list;
+  mutable o_text : Buffer.t;
+}
+
+type t = {
+  mutable pos : int;  (* next position to hand out *)
+  mutable next_id : int;
+  mutable stack : open_frame list;
+  mutable closed : bool;  (* a root has been fully closed *)
+  finished : (int, Node.t) Hashtbl.t;  (* id -> node, filled at close *)
+}
+
+let create () =
+  { pos = 0; next_id = 0; stack = []; closed = false; finished = Hashtbl.create 64 }
+
+let open_element ?(attrs = []) t tag =
+  (match (t.stack, t.closed) with
+  | [], true -> invalid_arg "Builder.open_element: second root"
+  | _ -> ());
+  let parent = match t.stack with [] -> Node.root_parent | f :: _ -> f.o_id in
+  let level = match t.stack with [] -> 0 | f :: _ -> f.o_level + 1 in
+  let frame =
+    {
+      o_id = t.next_id;
+      o_tag = tag;
+      o_start = t.pos;
+      o_level = level;
+      o_parent = parent;
+      o_attrs = attrs;
+      o_text = Buffer.create 8;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.pos <- t.pos + 1;
+  t.stack <- frame :: t.stack
+
+let text t s =
+  match t.stack with
+  | [] -> invalid_arg "Builder.text: no open element"
+  | f :: _ -> Buffer.add_string f.o_text s
+
+let close_element t =
+  match t.stack with
+  | [] -> invalid_arg "Builder.close_element: no open element"
+  | f :: rest ->
+      let node =
+        {
+          Node.id = f.o_id;
+          tag = f.o_tag;
+          start_pos = f.o_start;
+          end_pos = t.pos;
+          level = f.o_level;
+          parent = f.o_parent;
+          attrs = f.o_attrs;
+          text = Buffer.contents f.o_text;
+        }
+      in
+      t.pos <- t.pos + 1;
+      Hashtbl.replace t.finished f.o_id node;
+      t.stack <- rest;
+      if rest = [] then t.closed <- true
+
+let leaf ?attrs ?text:(txt = "") t tag =
+  open_element ?attrs t tag;
+  if txt <> "" then text t txt;
+  close_element t
+
+let depth t = List.length t.stack
+
+let finish t =
+  if t.stack <> [] then invalid_arg "Builder.finish: unclosed elements";
+  if not t.closed then invalid_arg "Builder.finish: no root element";
+  let n = t.next_id in
+  let arr =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt t.finished i with
+        | Some node -> node
+        | None -> invalid_arg "Builder.finish: missing node")
+  in
+  Document.of_nodes arr

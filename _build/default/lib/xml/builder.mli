@@ -1,0 +1,41 @@
+(** Imperative construction of documents with automatic interval numbering.
+
+    The builder assigns [(start_pos, end_pos, level)] as elements are opened
+    and closed, so generators and the parser never compute positions by
+    hand.  Usage:
+
+    {[
+      let b = Builder.create () in
+      Builder.open_element b "dblp";
+      Builder.open_element b ~attrs:[ ("key", "x") ] "article";
+      Builder.text b "...";
+      Builder.close_element b;
+      Builder.close_element b;
+      let doc = Builder.finish b
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val open_element : ?attrs:(string * string) list -> t -> string -> unit
+(** Open a child element of the currently open element (or the root if none
+    is open).  Raises [Invalid_argument] when a second root is opened. *)
+
+val text : t -> string -> unit
+(** Append character data to the currently open element.
+    Raises [Invalid_argument] outside any element. *)
+
+val close_element : t -> unit
+(** Close the innermost open element.  Raises [Invalid_argument] when no
+    element is open. *)
+
+val leaf : ?attrs:(string * string) list -> ?text:string -> t -> string -> unit
+(** [leaf b tag] opens and immediately closes an element. *)
+
+val depth : t -> int
+(** Number of currently open elements. *)
+
+val finish : t -> Document.t
+(** Complete the document.  Raises [Invalid_argument] if elements are still
+    open or no root was ever produced. *)

@@ -1,0 +1,38 @@
+(** XML element nodes with interval (region) encoding.
+
+    Every element of a document carries a [(start_pos, end_pos, level)]
+    triple assigned by a depth-first pre-order traversal.  The encoding
+    supports constant-time structural predicates: a node [d] is a descendant
+    of [a] iff [a.start_pos < d.start_pos] and [d.end_pos < a.end_pos];
+    it is a child iff additionally [d.level = a.level + 1].  This is the
+    numbering scheme used by the Stack-Tree structural join algorithms
+    (Al-Khalifa et al., ICDE 2002) on which the paper's optimizer rests. *)
+
+type t = {
+  id : int;  (** pre-order rank of the element; index into the document *)
+  tag : string;  (** element tag name *)
+  start_pos : int;  (** pre-order begin position *)
+  end_pos : int;  (** position after all descendants *)
+  level : int;  (** depth; the root element has level 0 *)
+  parent : int;  (** [id] of the parent element, or [-1] for the root *)
+  attrs : (string * string) list;  (** attributes in document order *)
+  text : string;  (** concatenation of the direct text children *)
+}
+
+val root_parent : int
+(** Parent id used by the document root ([-1]). *)
+
+val attr : t -> string -> string option
+(** [attr n name] is the value of attribute [name] of [n], if present. *)
+
+val has_attr_value : t -> string -> string -> bool
+(** [has_attr_value n name v] tests whether [n] carries [name="v"]. *)
+
+val compare_start : t -> t -> int
+(** Compare by [start_pos] (document order). *)
+
+val width : t -> int
+(** [width n] is [end_pos - start_pos], a proxy for subtree size. *)
+
+val pp : t Fmt.t
+(** Debug printer: [tag@[start,end)lvl]. *)

@@ -1,0 +1,230 @@
+exception Parse_error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let fail st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | _ -> false
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode an entity starting just after '&'. *)
+let read_entity st =
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then fail st "unterminated entity";
+  let name = String.sub st.src start (st.pos - start) in
+  advance st;
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      let decode prefix base =
+        let digits = String.sub name (String.length prefix) (String.length name - String.length prefix) in
+        match int_of_string_opt (base ^ digits) with
+        | Some code when code >= 0 && code < 128 -> String.make 1 (Char.chr code)
+        | Some _ -> "?" (* non-ASCII: keep documents byte-oriented *)
+        | None -> fail st ("bad character reference &" ^ name ^ ";")
+      in
+      if String.length name > 2 && name.[0] = '#' && (name.[1] = 'x' || name.[1] = 'X')
+      then decode "#x" "0x"
+      else if String.length name > 1 && name.[0] = '#' then decode "#" ""
+      else fail st ("unknown entity &" ^ name ^ ";")
+
+let read_quoted st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string buf (read_entity st);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_attrs st =
+  let rec go acc =
+    skip_spaces st;
+    if is_name_start (peek st) then begin
+      let name = read_name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let value = read_quoted st in
+      go ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let skip_until st target =
+  let tlen = String.length target in
+  let rec go () =
+    if st.pos + tlen > String.length st.src then fail st ("unterminated " ^ target)
+    else if String.sub st.src st.pos tlen = target then
+      for _ = 1 to tlen do
+        advance st
+      done
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* Skip <?...?>, <!--...-->, <!DOCTYPE...> between markup. *)
+let rec skip_misc st =
+  skip_spaces st;
+  if peek st = '<' then
+    match peek2 st with
+    | '?' ->
+        skip_until st "?>";
+        skip_misc st
+    | '!' ->
+        if st.pos + 3 < String.length st.src && String.sub st.src st.pos 4 = "<!--"
+        then skip_until st "-->"
+        else skip_until st ">";
+        skip_misc st
+    | _ -> ()
+
+let parse_string src =
+  let st = make src in
+  let builder = Builder.create () in
+  skip_misc st;
+  if eof st then fail st "empty document";
+  let rec element () =
+    expect st '<';
+    let tag = read_name st in
+    let attrs = read_attrs st in
+    skip_spaces st;
+    if peek st = '/' then begin
+      advance st;
+      expect st '>';
+      Builder.leaf ~attrs builder tag
+    end
+    else begin
+      expect st '>';
+      Builder.open_element ~attrs builder tag;
+      content tag;
+      Builder.close_element builder
+    end
+  and content tag =
+    if eof st then fail st ("unterminated element <" ^ tag ^ ">")
+    else if peek st = '<' then
+      match peek2 st with
+      | '/' ->
+          advance st;
+          advance st;
+          let closing = read_name st in
+          skip_spaces st;
+          expect st '>';
+          if not (String.equal closing tag) then
+            fail st (Printf.sprintf "mismatched </%s>, expected </%s>" closing tag)
+      | '!' ->
+          if st.pos + 8 < String.length st.src && String.sub st.src st.pos 9 = "<![CDATA["
+          then begin
+            st.pos <- st.pos + 9;
+            let start = st.pos in
+            skip_until st "]]>";
+            Builder.text builder (String.sub st.src start (st.pos - 3 - start))
+          end
+          else skip_until st "-->";
+          content tag
+      | '?' ->
+          skip_until st "?>";
+          content tag
+      | _ ->
+          element ();
+          content tag
+    else if peek st = '&' then begin
+      advance st;
+      Builder.text builder (read_entity st);
+      content tag
+    end
+    else begin
+      let start = st.pos in
+      while (not (eof st)) && peek st <> '<' && peek st <> '&' do
+        advance st
+      done;
+      let chunk = String.sub st.src start (st.pos - start) in
+      if String.exists (fun c -> not (is_space c)) chunk then
+        Builder.text builder (String.trim chunk);
+      content tag
+    end
+  in
+  element ();
+  skip_misc st;
+  skip_spaces st;
+  if not (eof st) then fail st "content after root element";
+  Builder.finish builder
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let error_to_string = function
+  | Parse_error { line; col; message } ->
+      Some (Printf.sprintf "XML parse error at %d:%d: %s" line col message)
+  | _ -> None

@@ -1,0 +1,21 @@
+(** A minimal, dependency-free XML parser.
+
+    Supports the subset needed by the data sets and examples: elements,
+    attributes (single- or double-quoted), character data, self-closing
+    tags, comments, processing instructions, an optional XML declaration,
+    and the five predefined entities ([&amp;lt;] etc.) plus decimal/hex
+    character references.  DTDs, namespaces and CDATA sections beyond
+    pass-through are out of scope. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse_string : string -> Document.t
+(** Parse a complete document from a string.
+    Raises {!Parse_error} on malformed input. *)
+
+val parse_file : string -> Document.t
+(** Parse a document from a file.  Raises {!Parse_error} or [Sys_error]. *)
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Parse_error}; [None] for other
+    exceptions. *)

@@ -1,0 +1,72 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:true s;
+  Buffer.contents buf
+
+let write_subtree ?(indent = false) buf doc (root : Node.t) =
+  let rec emit (n : Node.t) depth =
+    if indent then begin
+      if n.Node.id <> root.Node.id then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf n.Node.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape buf ~attr:true v;
+        Buffer.add_char buf '"')
+      n.Node.attrs;
+    let kids = Document.children doc n in
+    if kids = [] && n.Node.text = "" then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      escape buf ~attr:false n.Node.text;
+      List.iter (fun k -> emit k (depth + 1)) kids;
+      if indent && kids <> [] then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * depth) ' ')
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf n.Node.tag;
+      Buffer.add_char buf '>'
+    end
+  in
+  emit root 0
+
+let to_buffer ?(indent = true) buf doc =
+  write_subtree ~indent buf doc (Document.root doc)
+
+let to_string ?indent doc =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf doc;
+  Buffer.contents buf
+
+let to_file ?indent path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?indent doc))
+
+let subtree_to_string doc n =
+  let buf = Buffer.create 256 in
+  write_subtree buf doc n;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Element_index Lazy List Parse Parser QCheck2 QCheck_alcotest Sjos_core Sjos_datagen Sjos_exec Sjos_pattern Sjos_storage Sjos_xml String

@@ -1,0 +1,1 @@
+test/test_cost_plan.ml: Alcotest Axes Cost_model Costing Explain Float Fmt Helpers Lazy Option Pattern Plan Properties Sjos_cost Sjos_pattern Sjos_plan Sjos_xml String

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Axes Dblp Document Element_index Folding Hashtbl Helpers Lazy List Mbench Node Option Pers Printf Rng Sjos_datagen Sjos_exec Sjos_storage Sjos_xml

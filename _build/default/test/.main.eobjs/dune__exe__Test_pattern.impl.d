@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array Axes Candidate Document Helpers Lazy List Parse Pattern Printf Result Shapes Sjos_pattern Sjos_storage Sjos_xml

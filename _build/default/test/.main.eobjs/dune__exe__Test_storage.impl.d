@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Candidate Document Element_index Fmt Helpers Lazy List Node Parser Sjos_storage Sjos_xml Stats String

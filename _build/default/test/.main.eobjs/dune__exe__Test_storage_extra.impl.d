@@ -1,0 +1,1 @@
+test/test_storage_extra.ml: Alcotest Array Axes Element_index Helpers Lazy List Merge_join Metrics Operators Pager Parser Printf Sjos_exec Sjos_plan Sjos_storage Sjos_xml Stack_tree Tuple

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Axes Builder Document Fmt Fun Helpers Lazy List Node Option Parser Result Serializer Sjos_xml String

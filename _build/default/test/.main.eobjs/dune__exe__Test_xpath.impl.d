@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Array Fun Helpers Lazy List Pattern Result Sjos_core Sjos_exec Sjos_pattern Sjos_plan Sjos_storage Sjos_xml Xpath

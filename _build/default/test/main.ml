@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "sjos"
+    [
+      ("xml", Test_xml.suite);
+      ("storage", Test_storage.suite);
+      ("storage-extra", Test_storage_extra.suite);
+      ("histogram", Test_histogram.suite);
+      ("pattern", Test_pattern.suite);
+      ("xpath", Test_xpath.suite);
+      ("cost+plan", Test_cost_plan.suite);
+      ("exec", Test_exec.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("datagen", Test_datagen.suite);
+      ("engine", Test_engine.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,185 @@
+open Sjos_xml
+open Sjos_storage
+open Sjos_histogram
+open Sjos_pattern
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* ---------- Grid ---------- *)
+
+let test_grid_basics () =
+  let g = Grid.create 4 in
+  check ci "size" 4 (Grid.size g);
+  Grid.add g 0 0;
+  Grid.add g 1 2;
+  Grid.add g 1 2;
+  Grid.add g 3 3;
+  Helpers.checkf "get" 2.0 (Grid.get g 1 2);
+  Helpers.checkf "total" 4.0 (Grid.total g);
+  Grid.seal g;
+  Helpers.checkf "full sum" 4.0 (Grid.range_sum g ~i0:0 ~i1:3 ~j0:0 ~j1:3);
+  Helpers.checkf "row" 2.0 (Grid.range_sum g ~i0:1 ~i1:1 ~j0:0 ~j1:3);
+  Helpers.checkf "cell" 1.0 (Grid.range_sum g ~i0:3 ~i1:3 ~j0:3 ~j1:3);
+  Helpers.checkf "empty range" 0.0 (Grid.range_sum g ~i0:2 ~i1:1 ~j0:0 ~j1:3);
+  Helpers.checkf "clamped" 4.0 (Grid.range_sum g ~i0:(-5) ~i1:99 ~j0:(-1) ~j1:99)
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_grid_errors () =
+  expect_invalid (fun () -> Grid.create 0);
+  let g = Grid.create 2 in
+  expect_invalid (fun () -> Grid.add g 2 0);
+  expect_invalid (fun () -> Grid.range_sum g ~i0:0 ~i1:1 ~j0:0 ~j1:1);
+  Grid.seal g;
+  expect_invalid (fun () -> Grid.add g 0 0)
+
+(* ---------- Position histogram ---------- *)
+
+let test_position_histogram () =
+  let doc = Lazy.force Helpers.tiny_pers in
+  let idx = Lazy.force Helpers.tiny_index in
+  let names = Element_index.lookup idx "name" in
+  let h =
+    Position_histogram.build ~grid:8 ~max_pos:(Document.max_pos doc) names
+  in
+  check ci "grid size" 8 (Position_histogram.grid_size h);
+  Helpers.checkf "cardinality" 8.0 (Position_histogram.cardinality h);
+  Helpers.checkf "total mass" 8.0
+    (Position_histogram.count_in h ~i0:0 ~i1:7 ~j0:0 ~j1:7);
+  let levels = Position_histogram.level_counts h in
+  Helpers.checkf "level sum" 8.0 (Array.fold_left ( +. ) 0.0 levels);
+  check cb "bucket in range" true (Position_histogram.bucket h 0 = 0)
+
+(* ---------- Pair estimation ---------- *)
+
+(* Exact number of (anc, desc) pairs by brute force. *)
+let exact_pairs axis anc desc =
+  Array.fold_left
+    (fun acc a ->
+      Array.fold_left
+        (fun acc d -> if Axes.related axis ~anc:a ~desc:d then acc + 1 else acc)
+        acc desc)
+    0 anc
+
+let pair_fixture tag_a tag_b =
+  let doc = Lazy.force Helpers.pers_1k in
+  let idx = Lazy.force Helpers.pers_1k_index in
+  let max_pos = Document.max_pos doc in
+  let a = Element_index.lookup idx tag_a in
+  let b = Element_index.lookup idx tag_b in
+  ( Position_histogram.build ~grid:32 ~max_pos a,
+    Position_histogram.build ~grid:32 ~max_pos b,
+    a,
+    b )
+
+let test_estimate_ad_reasonable () =
+  let ha, hb, a, b = pair_fixture "manager" "employee" in
+  let est = Estimator.ancestor_descendant ~anc:ha ~desc:hb in
+  let exact = float_of_int (exact_pairs Axes.Descendant a b) in
+  check cb "positive" true (est > 0.);
+  check cb
+    (Printf.sprintf "within 4x of exact (est=%.0f exact=%.0f)" est exact)
+    true
+    (est > exact /. 4.0 && est < exact *. 4.0)
+
+let test_estimate_pc_le_ad () =
+  let ha, hb, _, _ = pair_fixture "manager" "employee" in
+  let ad = Estimator.ancestor_descendant ~anc:ha ~desc:hb in
+  let pc = Estimator.parent_child ~anc:ha ~desc:hb in
+  check cb "pc <= ad" true (pc <= ad +. 1e-9);
+  check cb "pc >= 0" true (pc >= 0.)
+
+let test_estimate_empty_side () =
+  let doc = Lazy.force Helpers.pers_1k in
+  let max_pos = Document.max_pos doc in
+  let empty = Position_histogram.build ~grid:32 ~max_pos [||] in
+  let ha, _, _, _ = pair_fixture "manager" "employee" in
+  Helpers.checkf "empty desc" 0.0 (Estimator.ancestor_descendant ~anc:ha ~desc:empty);
+  Helpers.checkf "empty anc" 0.0 (Estimator.ancestor_descendant ~anc:empty ~desc:ha);
+  Helpers.checkf "selectivity zero" 0.0
+    (Estimator.selectivity Axes.Descendant ~anc:empty ~desc:ha)
+
+let test_estimate_grid_mismatch () =
+  let doc = Lazy.force Helpers.pers_1k in
+  let max_pos = Document.max_pos doc in
+  let h1 = Position_histogram.build ~grid:8 ~max_pos [||] in
+  let h2 = Position_histogram.build ~grid:16 ~max_pos [||] in
+  expect_invalid (fun () -> Estimator.ancestor_descendant ~anc:h1 ~desc:h2)
+
+let test_selectivity_bounds () =
+  let ha, hb, _, _ = pair_fixture "manager" "name" in
+  List.iter
+    (fun axis ->
+      let s = Estimator.selectivity axis ~anc:ha ~desc:hb in
+      check cb "in [0,1]" true (s >= 0.0 && s <= 1.0))
+    [ Axes.Child; Axes.Descendant ]
+
+(* ---------- Cluster cardinality ---------- *)
+
+let test_cardinality_nodes () =
+  let idx = Lazy.force Helpers.tiny_index in
+  let p = Helpers.pat "manager(//employee(/name))" in
+  let c = Cardinality.create ~grid:8 idx p in
+  Helpers.checkf "node 0 card" 3.0 (Cardinality.node_card c 0);
+  Helpers.checkf "node 1 card" 3.0 (Cardinality.node_card c 1);
+  Helpers.checkf "node 2 card" 8.0 (Cardinality.node_card c 2);
+  Helpers.checkf "singleton cluster = node card" 3.0
+    (Cardinality.cluster_card c 1)
+
+let test_cardinality_cluster_vs_exact () =
+  let idx = Lazy.force Helpers.pers_1k_index in
+  let p = Helpers.pat "manager(//employee(/name))" in
+  let c = Cardinality.create ~grid:32 idx p in
+  let est = Cardinality.cluster_card c 0b111 in
+  let exact = float_of_int (Sjos_exec.Naive.cluster_count idx p 0b111) in
+  check cb
+    (Printf.sprintf "cluster est within 5x (est=%.0f exact=%.0f)" est exact)
+    true
+    (est > exact /. 5.0 && est < exact *. 5.0)
+
+let test_cardinality_validation () =
+  let idx = Lazy.force Helpers.tiny_index in
+  let p = Helpers.pat "manager(//employee(/name))" in
+  let c = Cardinality.create idx p in
+  expect_invalid (fun () -> Cardinality.cluster_card c 0);
+  (* nodes 0 and 2 are not adjacent: not a connected cluster *)
+  expect_invalid (fun () -> Cardinality.cluster_card c 0b101);
+  check cb "connected" true (Cardinality.is_connected p 0b011);
+  check cb "disconnected" false (Cardinality.is_connected p 0b101);
+  check ci "root of full" 0 (Cardinality.cluster_root p 0b111);
+  check ci "root of subtree" 1 (Cardinality.cluster_root p 0b110)
+
+let test_cardinality_edges () =
+  let idx = Lazy.force Helpers.tiny_index in
+  let p = Helpers.pat "manager(//employee)" in
+  let c = Cardinality.create ~grid:8 idx p in
+  match Pattern.edges p with
+  | [ e ] ->
+      let pairs = Cardinality.edge_pairs c e in
+      check cb "pairs positive" true (pairs > 0.);
+      let s = Cardinality.edge_selectivity c e in
+      check cb "selectivity bounds" true (s >= 0. && s <= 1.);
+      Helpers.checkf "pairs = sel * |A| * |B|" pairs (s *. 3.0 *. 3.0);
+      Helpers.checkf "full mask" 3.0 (float_of_int (Cardinality.full_mask c))
+  | _ -> Alcotest.fail "expected one edge"
+
+let suite =
+  [
+    ("grid basics", `Quick, test_grid_basics);
+    ("grid errors", `Quick, test_grid_errors);
+    ("position histogram", `Quick, test_position_histogram);
+    ("AD estimate near exact", `Quick, test_estimate_ad_reasonable);
+    ("PC estimate below AD", `Quick, test_estimate_pc_le_ad);
+    ("estimates with empty side", `Quick, test_estimate_empty_side);
+    ("grid mismatch rejected", `Quick, test_estimate_grid_mismatch);
+    ("selectivity bounds", `Quick, test_selectivity_bounds);
+    ("cardinality of nodes", `Quick, test_cardinality_nodes);
+    ("cluster estimate vs exact", `Quick, test_cardinality_cluster_vs_exact);
+    ("cardinality validation", `Quick, test_cardinality_validation);
+    ("edge pairs and selectivity", `Quick, test_cardinality_edges);
+  ]

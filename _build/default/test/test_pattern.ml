@@ -1,0 +1,188 @@
+open Sjos_xml
+open Sjos_storage
+open Sjos_pattern
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let expect_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let labels tags = Array.of_list (List.map Candidate.of_tag tags)
+
+let test_create_valid () =
+  let p =
+    Pattern.create
+      ~labels:(labels [ "a"; "b"; "c" ])
+      ~edges:[| (0, Axes.Descendant, 1); (1, Axes.Child, 2) |]
+      ()
+  in
+  check ci "nodes" 3 (Pattern.node_count p);
+  check ci "edges" 2 (Pattern.edge_count p);
+  check cs "name A" "A" (Pattern.name p 0);
+  check cs "name C" "C" (Pattern.name p 2);
+  check cb "is path" true (Pattern.is_path p);
+  check ci "depth" 2 (Pattern.depth p)
+
+let test_create_errors () =
+  expect_invalid (fun () ->
+      Pattern.create ~labels:[||] ~edges:[||] ());
+  expect_invalid (fun () ->
+      Pattern.create ~labels:(labels [ "a"; "b" ]) ~edges:[||] ());
+  (* edge pointing toward the root *)
+  expect_invalid (fun () ->
+      Pattern.create
+        ~labels:(labels [ "a"; "b" ])
+        ~edges:[| (1, Axes.Child, 0) |]
+        ());
+  (* disconnected: self-edge style duplicate *)
+  expect_invalid (fun () ->
+      Pattern.create
+        ~labels:(labels [ "a"; "b"; "c" ])
+        ~edges:[| (0, Axes.Child, 1); (0, Axes.Child, 1) |]
+        ());
+  expect_invalid (fun () ->
+      Pattern.create
+        ~labels:(labels [ "a"; "b" ])
+        ~edges:[| (0, Axes.Child, 5) |]
+        ());
+  expect_invalid (fun () ->
+      Pattern.create ~order_by:7
+        ~labels:(labels [ "a"; "b" ])
+        ~edges:[| (0, Axes.Child, 1) |]
+        ())
+
+let test_navigation () =
+  let p = Helpers.pat "a(//b(/c),//d(/e(/f)))" in
+  check ci "six nodes" 6 (Pattern.node_count p);
+  check cb "not a path" false (Pattern.is_path p);
+  check ci "depth" 3 (Pattern.depth p);
+  (match Pattern.parent_of p 5 with
+  | Some (4, e) ->
+      check ci "edge anc" 4 e.Pattern.anc;
+      check cb "axis child" true (e.Pattern.axis = Axes.Child)
+  | _ -> Alcotest.fail "parent of F should be E");
+  check cb "root has no parent" true (Pattern.parent_of p 0 = None);
+  check ci "children of root" 2 (List.length (Pattern.children_of p 0));
+  check ci "neighbors of D" 2 (List.length (Pattern.neighbors p 3));
+  (match Pattern.edge_between p 0 3 with
+  | Some e -> check cb "descendant axis" true (e.Pattern.axis = Axes.Descendant)
+  | None -> Alcotest.fail "edge A-D expected");
+  (match Pattern.edge_between p 3 0 with
+  | Some e -> check ci "symmetric lookup" 0 e.Pattern.anc
+  | None -> Alcotest.fail "edge D-A expected");
+  check cb "no edge A-F" true (Pattern.edge_between p 0 5 = None)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = Helpers.pat s in
+      let s' = Pattern.to_string p in
+      let p' = Helpers.pat s' in
+      check cs ("roundtrip " ^ s) s' (Pattern.to_string p'))
+    [
+      "a(//b)";
+      "a(//b(/c),//d(/e(/f)))";
+      "manager(//employee(/name),//department(/name))";
+      "eNest[@aLevel='2'](//eNest[@aSixtyFour='3'](/eOccasional))";
+      "x[.='v'](/y)";
+      "*(//y)";
+      "a(//b,//c) order by B";
+    ]
+
+let test_parse_syntax () =
+  let p = Helpers.pat "  //a ( / b , // c ) " in
+  check ci "whitespace ok" 3 (Pattern.node_count p);
+  let p2 = Helpers.pat "a(//b) order by B" in
+  check (Alcotest.option ci) "order by parsed" (Some 1) (Pattern.order_by p2);
+  let p3 = Pattern.with_order_by p2 None in
+  check (Alcotest.option ci) "order by removed" None (Pattern.order_by p3);
+  expect_invalid (fun () -> Pattern.with_order_by p2 (Some 9))
+
+let expect_syntax_error s =
+  match Helpers.pat s with
+  | exception Parse.Syntax_error _ -> ()
+  | _ -> Alcotest.fail ("expected syntax error: " ^ s)
+
+let test_parse_errors () =
+  expect_syntax_error "";
+  expect_syntax_error "a(";
+  expect_syntax_error "a(b)";
+  expect_syntax_error "a(/b";
+  expect_syntax_error "a(/b))";
+  expect_syntax_error "a[@k]";
+  expect_syntax_error "a[@k='v'";
+  expect_syntax_error "a(/b) order by Z";
+  expect_syntax_error "a(/b) nonsense";
+  check cb "pattern_opt error" true
+    (Result.is_error (Parse.pattern_opt "a("));
+  check cb "pattern_opt ok" true (Result.is_ok (Parse.pattern_opt "a(/b)"))
+
+let test_matches_mapping () =
+  let doc = Lazy.force Helpers.tiny_pers in
+  let p = Helpers.pat "manager(//employee(/name))" in
+  let node i = Document.node doc i in
+  (* manager id1 contains employee id3 with name child id4 *)
+  check cb "valid mapping" true
+    (Pattern.matches_mapping p doc [| node 1; node 3; node 4 |]);
+  (* name id2 is not under employee id3 *)
+  check cb "wrong child" false
+    (Pattern.matches_mapping p doc [| node 1; node 3; node 2 |]);
+  (* wrong label *)
+  check cb "wrong label" false
+    (Pattern.matches_mapping p doc [| node 0; node 3; node 4 |])
+
+let test_shapes () =
+  let specs n = Array.init n (fun i -> Candidate.of_tag (Printf.sprintf "t%d" i)) in
+  let axes n = Array.make n Axes.Descendant in
+  let a = Shapes.a (specs 3) (axes 2) in
+  check cb "a is path" true (Pattern.is_path a);
+  let b = Shapes.b (specs 4) (axes 3) in
+  check ci "b children of root" 2 (List.length (Pattern.children_of b 0));
+  check ci "b depth" 2 (Pattern.depth b);
+  let c = Shapes.c (specs 5) (axes 4) in
+  check ci "c nodes" 5 (Pattern.node_count c);
+  check ci "c depth" 2 (Pattern.depth c);
+  let d = Shapes.d (specs 6) (axes 5) in
+  check ci "d nodes" 6 (Pattern.node_count d);
+  check ci "d depth" 3 (Pattern.depth d);
+  expect_invalid (fun () -> Shapes.a (specs 4) (axes 2));
+  expect_invalid (fun () -> Shapes.a (specs 3) (axes 5))
+
+let test_shapes_path_and_tree () =
+  let p =
+    Shapes.path
+      (List.map Candidate.of_tag [ "a"; "b"; "c"; "d" ])
+      [ Axes.Child; Axes.Descendant; Axes.Child ]
+  in
+  check ci "path nodes" 4 (Pattern.node_count p);
+  check cb "is path" true (Pattern.is_path p);
+  let t = Shapes.complete_tree ~fanout:2 ~depth:2 (Candidate.of_tag "x") Axes.Child in
+  check ci "complete tree nodes" 7 (Pattern.node_count t);
+  check ci "complete tree depth" 2 (Pattern.depth t);
+  let t1 = Shapes.complete_tree ~fanout:3 ~depth:1 (Candidate.of_tag "x") Axes.Child in
+  check ci "fanout 3 nodes" 4 (Pattern.node_count t1);
+  expect_invalid (fun () ->
+      Shapes.complete_tree ~fanout:0 ~depth:1 (Candidate.of_tag "x") Axes.Child)
+
+let test_of_tags () =
+  let p = Shapes.of_tags Shapes.a [ "x"; "y"; "z" ] [ Axes.Child; Axes.Child ] in
+  check cs "rendered" "x(/y(/z))" (Pattern.to_string p)
+
+let suite =
+  [
+    ("create valid", `Quick, test_create_valid);
+    ("create errors", `Quick, test_create_errors);
+    ("navigation", `Quick, test_navigation);
+    ("parse roundtrip", `Quick, test_parse_roundtrip);
+    ("parse syntax", `Quick, test_parse_syntax);
+    ("parse errors", `Quick, test_parse_errors);
+    ("matches_mapping", `Quick, test_matches_mapping);
+    ("shapes a-d", `Quick, test_shapes);
+    ("shapes path and complete tree", `Quick, test_shapes_path_and_tree);
+    ("shapes of_tags", `Quick, test_of_tags);
+  ]

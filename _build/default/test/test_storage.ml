@@ -1,0 +1,125 @@
+open Sjos_xml
+open Sjos_storage
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let doc () = Lazy.force Helpers.tiny_pers
+let index () = Lazy.force Helpers.tiny_index
+
+let test_index_lookup () =
+  let idx = index () in
+  check ci "managers" 3 (Element_index.cardinality idx "manager");
+  check ci "employees" 3 (Element_index.cardinality idx "employee");
+  check ci "departments" 2 (Element_index.cardinality idx "department");
+  check ci "names" 8 (Element_index.cardinality idx "name");
+  check ci "unknown" 0 (Element_index.cardinality idx "nope");
+  check ci "total" (Document.size (doc ())) (Element_index.total_nodes idx)
+
+let test_index_sorted () =
+  let idx = index () in
+  List.iter
+    (fun tag ->
+      let arr = Element_index.lookup idx tag in
+      Array.iteri
+        (fun i (n : Node.t) ->
+          if i > 0 then
+            check cb "sorted by start" true
+              (arr.(i - 1).Node.start_pos < n.Node.start_pos))
+        arr)
+    (Element_index.tags idx)
+
+let test_index_tags () =
+  let idx = index () in
+  check (Alcotest.list Alcotest.string) "tags"
+    [ "company"; "department"; "employee"; "manager"; "name" ]
+    (Element_index.tags idx)
+
+let test_candidate_tag () =
+  let idx = index () in
+  let spec = Candidate.of_tag "manager" in
+  check ci "managers" 3 (Array.length (Candidate.select idx spec));
+  check ci "wildcard = all" (Document.size (doc ()))
+    (Array.length (Candidate.select idx Candidate.any))
+
+let test_candidate_text () =
+  let idx = index () in
+  let spec = { (Candidate.of_tag "name") with Candidate.text = Some "ann" } in
+  let hits = Candidate.select idx spec in
+  check ci "one ann" 1 (Array.length hits);
+  check Alcotest.string "text matches" "ann" hits.(0).Node.text
+
+let test_candidate_attr () =
+  let d =
+    Parser.parse_string "<r><x k='1'/><x k='2'/><x k='1'><y/></x></r>"
+  in
+  let idx = Element_index.build d in
+  let spec = { (Candidate.of_tag "x") with Candidate.attr = Some ("k", "1") } in
+  check ci "two k=1" 2 (Array.length (Candidate.select idx spec));
+  let both =
+    { Candidate.tag = None; attr = Some ("k", "2"); text = None }
+  in
+  check ci "wildcard with attr" 1 (Array.length (Candidate.select idx both))
+
+let test_candidate_matches () =
+  let d = Parser.parse_string "<r><x k='1'>t</x></r>" in
+  let x = Document.node d 1 in
+  check cb "tag" true (Candidate.matches (Candidate.of_tag "x") x);
+  check cb "wrong tag" false (Candidate.matches (Candidate.of_tag "y") x);
+  check cb "attr" true
+    (Candidate.matches
+       { Candidate.tag = Some "x"; attr = Some ("k", "1"); text = None }
+       x);
+  check cb "attr wrong" false
+    (Candidate.matches
+       { Candidate.tag = Some "x"; attr = Some ("k", "2"); text = None }
+       x);
+  check cb "text" true
+    (Candidate.matches
+       { Candidate.tag = None; attr = None; text = Some "t" }
+       x)
+
+let test_candidate_to_string () =
+  check Alcotest.string "plain" "manager"
+    (Candidate.spec_to_string (Candidate.of_tag "manager"));
+  check Alcotest.string "wildcard" "*" (Candidate.spec_to_string Candidate.any);
+  check Alcotest.string "full" "x[@k='v'][.='t']"
+    (Candidate.spec_to_string
+       { Candidate.tag = Some "x"; attr = Some ("k", "v"); text = Some "t" })
+
+let test_stats () =
+  let s = Stats.compute (doc ()) in
+  check ci "node count" 17 s.Stats.node_count;
+  check ci "distinct tags" 5 s.Stats.distinct_tags;
+  check ci "max depth" 4 s.Stats.max_depth;
+  check ci "leaves" 8 s.Stats.leaf_count;
+  check cb "avg depth positive" true (s.Stats.avg_depth > 0.);
+  check cb "avg fanout positive" true (s.Stats.avg_fanout > 1.);
+  (match s.Stats.tag_counts with
+  | (top, count) :: _ ->
+      check Alcotest.string "most frequent" "name" top;
+      check ci "count" 8 count
+  | [] -> Alcotest.fail "no tag counts");
+  check cb "pp prints" true (String.length (Fmt.str "%a" Stats.pp s) > 0)
+
+let test_stats_single () =
+  let s = Stats.compute (Parser.parse_string "<only/>") in
+  check ci "one node" 1 s.Stats.node_count;
+  check ci "no depth" 0 s.Stats.max_depth;
+  check ci "one leaf" 1 s.Stats.leaf_count;
+  Helpers.checkf "fanout zero" 0.0 s.Stats.avg_fanout
+
+let suite =
+  [
+    ("index lookup", `Quick, test_index_lookup);
+    ("index sorted", `Quick, test_index_sorted);
+    ("index tags", `Quick, test_index_tags);
+    ("candidate by tag", `Quick, test_candidate_tag);
+    ("candidate by text", `Quick, test_candidate_text);
+    ("candidate by attr", `Quick, test_candidate_attr);
+    ("candidate matches", `Quick, test_candidate_matches);
+    ("candidate to_string", `Quick, test_candidate_to_string);
+    ("stats", `Quick, test_stats);
+    ("stats single node", `Quick, test_stats_single);
+  ]

@@ -1,0 +1,105 @@
+open Sjos_pattern
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let test_simple_path () =
+  let p, result = Xpath.compile "//manager//employee/name" in
+  check ci "three nodes" 3 (Pattern.node_count p);
+  check ci "result is last step" 2 result;
+  check (Alcotest.option ci) "ordered by result" (Some 2) (Pattern.order_by p);
+  check cb "is path" true (Pattern.is_path p);
+  check cs "rendered" "manager(//employee(/name)) order by C"
+    (Pattern.to_string p)
+
+let test_branch_predicate () =
+  let p, result = Xpath.compile "//manager[.//manager/department]/employee" in
+  (* spine: manager -> employee; branch: manager -> manager -> department *)
+  check ci "four nodes" 4 (Pattern.node_count p);
+  check cb "not a path" false (Pattern.is_path p);
+  check ci "result is employee" result result;
+  let employee = result in
+  (match Pattern.parent_of p employee with
+  | Some (0, e) -> check cb "employee child of root" true (e.Pattern.axis = Sjos_xml.Axes.Child)
+  | _ -> Alcotest.fail "employee not attached to spine root")
+
+let test_attribute_and_text () =
+  let p, _ = Xpath.compile "//eNest[@aLevel='4']//eNest[@aSixtyFour='3']" in
+  let l0 = Pattern.label p 0 in
+  check (Alcotest.option (Alcotest.pair cs cs)) "attr on first"
+    (Some ("aLevel", "4"))
+    l0.Sjos_storage.Candidate.attr;
+  let p2, _ = Xpath.compile "//article[author='knuth']/title" in
+  check ci "article-author-title" 3 (Pattern.node_count p2);
+  (* the author branch carries the text predicate *)
+  let has_knuth =
+    List.exists
+      (fun i ->
+        (Pattern.label p2 i).Sjos_storage.Candidate.text = Some "knuth")
+      (List.init 3 Fun.id)
+  in
+  check cb "text predicate placed" true has_knuth
+
+let test_wildcard_and_dot () =
+  let p, _ = Xpath.compile "//*[.='dan']" in
+  check ci "one node" 1 (Pattern.node_count p);
+  let l = Pattern.label p 0 in
+  check (Alcotest.option cs) "wildcard" None l.Sjos_storage.Candidate.tag;
+  check (Alcotest.option cs) "text" (Some "dan") l.Sjos_storage.Candidate.text
+
+let test_end_to_end () =
+  let idx = Lazy.force Helpers.tiny_index in
+  let checks =
+    [
+      ("//manager//employee/name", 4);
+      ("//manager[.//department]//employee", 5);
+      ("//employee[name='dan']", 1);
+      ("//manager[department/name='sales']", 1);
+      ("//company//name", 8);
+    ]
+  in
+  List.iter
+    (fun (xp, expected) ->
+      let p, _ = Xpath.compile xp in
+      check ci xp expected (Sjos_exec.Naive.count idx p))
+    checks
+
+let test_optimizes_and_executes () =
+  let idx = Lazy.force Helpers.pers_1k_index in
+  let p, result = Xpath.compile "//manager[.//department/name]/employee" in
+  let provider = Sjos_exec.Naive.exact_provider idx p in
+  let r = Sjos_core.Optimizer.optimize ~provider Sjos_core.Optimizer.Dpp p in
+  let run = Sjos_exec.Executor.execute idx p r.Sjos_core.Optimizer.plan in
+  check ci "agrees with naive" (Sjos_exec.Naive.count idx p)
+    (Array.length run.Sjos_exec.Executor.tuples);
+  check ci "plan ordered by result node" result
+    (Sjos_plan.Plan.ordered_by r.Sjos_core.Optimizer.plan)
+
+let expect_error s =
+  match Xpath.compile s with
+  | exception Xpath.Syntax_error _ -> ()
+  | _ -> Alcotest.fail ("expected syntax error: " ^ s)
+
+let test_errors () =
+  expect_error "";
+  expect_error "manager";
+  expect_error "//manager[";
+  expect_error "//manager[@k]";
+  expect_error "//manager[@k='v'";
+  expect_error "//manager/";
+  expect_error "//manager]extra";
+  check cb "compile_opt error" true (Result.is_error (Xpath.compile_opt "//a["));
+  check cb "compile_opt ok" true (Result.is_ok (Xpath.compile_opt "//a/b"))
+
+let suite =
+  [
+    ("simple path", `Quick, test_simple_path);
+    ("branch predicate", `Quick, test_branch_predicate);
+    ("attribute and text predicates", `Quick, test_attribute_and_text);
+    ("wildcard and dot", `Quick, test_wildcard_and_dot);
+    ("end to end counts", `Quick, test_end_to_end);
+    ("optimizes and executes", `Quick, test_optimizes_and_executes);
+    ("errors", `Quick, test_errors);
+  ]
