@@ -39,6 +39,9 @@ let table1 () =
   let sizes ds = scaled (Workload.default_size ds) in
   let rows = Experiment.table1 ~sizes ~max_tuples:50_000_000 () in
   Experiment.print_table1 rows;
+  let bench_json = "BENCH_1.json" in
+  Sjos_obs.Report.write_file bench_json (Experiment.table1_to_json rows);
+  Printf.printf "wrote %s (8 queries x 5 algorithms + bad plan)\n" bench_json;
   (* the paper's headline claims, checked mechanically *)
   let all_pass = ref true in
   List.iter
@@ -194,11 +197,11 @@ let ablation_priority () =
   let provider = Database.provider db pat in
   let run label ~prioritize_by_ub =
     let ctx = Search.make_ctx ~provider pat in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Sjos_obs.Clock.now_ns () in
     let cost, _ = Dpp.run ~prioritize_by_ub ctx in
     Printf.printf "%-24s cost=%.0f plans=%d expanded=%d time=%.3fms\n" label
-      cost ctx.Search.considered ctx.Search.expanded
-      ((Unix.gettimeofday () -. t0) *. 1000.)
+      cost ctx.Search.effort.Effort.considered ctx.Search.effort.Effort.expanded
+      (Sjos_obs.Clock.elapsed_seconds ~since:t0 *. 1000.)
   in
   run "DPP (Cost+ubCost)" ~prioritize_by_ub:true;
   run "DPP (Cost only)" ~prioritize_by_ub:false
@@ -355,11 +358,11 @@ let ablation_randomized () =
   let provider = Database.provider db pat in
   let report label run =
     let ctx = Search.make_ctx ~provider pat in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Sjos_obs.Clock.now_ns () in
     let cost, _ = run ctx in
     Printf.printf "%-22s est_cost=%10.0f plans=%5d time=%.3fms\n" label cost
-      ctx.Search.considered
-      ((Unix.gettimeofday () -. t0) *. 1000.)
+      ctx.Search.effort.Effort.considered
+      (Sjos_obs.Clock.elapsed_seconds ~since:t0 *. 1000.)
   in
   report "DPP (optimal)" Dpp.run;
   report "Iterative Improvement" (Randomized.iterative_improvement ~seed:17);

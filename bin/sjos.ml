@@ -5,6 +5,7 @@
      stats     print statistics for an XML file
      query     optimize + execute a pattern against an XML file
      explain   print the chosen plan without executing it
+     analyze   EXPLAIN ANALYZE: execute and compare estimates vs. actuals
      table1/2/3, fig7, fig8   regenerate the paper's experiments *)
 
 open Cmdliner
@@ -66,6 +67,27 @@ let xpath_flag =
           "Interpret PATTERN as an XPath expression (e.g. \
            '//manager[.//department]/employee') instead of the native \
            pattern syntax.")
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record optimizer and executor spans.  Prints the span tree after \
+           the run (or embeds it under \"trace\" with $(b,--json)).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a machine-readable JSON report instead of the human table.")
+
+let with_obs ~trace f =
+  if trace then Sjos_obs.Report.enable_all ();
+  let r = f () in
+  let report = if trace then Some (Sjos_obs.Report.to_json ()) else None in
+  if trace then Sjos_obs.Report.disable_all ();
+  (r, report)
 
 let parse_pattern ~xpath s =
   let result =
@@ -130,37 +152,64 @@ let stats_cmd =
 (* ---------- query ---------- *)
 
 let query_cmd =
-  let run pattern file algorithm limit show xpath =
+  let run pattern file algorithm limit show xpath trace json =
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
-    let run =
-      Database.run_query ~algorithm ?max_tuples:limit db p
+    let run, report =
+      with_obs ~trace (fun () ->
+          Database.run_query ~algorithm ?max_tuples:limit db p)
     in
     let tuples = run.Database.exec.Sjos_exec.Executor.tuples in
-    Fmt.pr "%d matches in %.2f ms (optimization %.2f ms, %d plans considered)@."
-      (Array.length tuples)
-      (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
-      (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
-      run.Database.opt.Sjos_core.Optimizer.plans_considered;
-    Fmt.pr "execution: %a@." Sjos_exec.Metrics.pp
-      run.Database.exec.Sjos_exec.Executor.metrics;
-    let doc = Database.document db in
-    Array.iteri
-      (fun i tuple ->
-        if i < show then begin
-          let parts =
-            List.init (Sjos_pattern.Pattern.node_count p) (fun slot ->
-                let n =
-                  Sjos_xml.Document.node doc (Sjos_exec.Tuple.get tuple slot)
-                in
-                Fmt.str "%s=%a" (Sjos_pattern.Pattern.name p slot)
-                  Sjos_xml.Node.pp n)
-          in
-          Fmt.pr "  %s@." (String.concat " " parts)
-        end)
-      tuples;
-    if Array.length tuples > show then
-      Fmt.pr "  ... (%d more; raise --show)@." (Array.length tuples - show)
+    if json then begin
+      let open Sjos_obs.Json in
+      let fields =
+        [
+          ("pattern", Str pattern);
+          ("matches", Int (Array.length tuples));
+          ( "exec_seconds",
+            Float run.Database.exec.Sjos_exec.Executor.seconds );
+          ( "optimizer",
+            Sjos_core.Optimizer.result_to_json p run.Database.opt );
+          ( "metrics",
+            Sjos_exec.Metrics.to_json
+              run.Database.exec.Sjos_exec.Executor.metrics );
+        ]
+      in
+      let fields =
+        match report with
+        | Some r -> fields @ [ ("observability", r) ]
+        | None -> fields
+      in
+      print_endline (to_string_pretty (Obj fields))
+    end
+    else begin
+      Fmt.pr
+        "%d matches in %.2f ms (optimization %.2f ms, %d plans considered)@."
+        (Array.length tuples)
+        (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
+        (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
+        run.Database.opt.Sjos_core.Optimizer.plans_considered;
+      Fmt.pr "execution: %a@." Sjos_exec.Metrics.pp
+        run.Database.exec.Sjos_exec.Executor.metrics;
+      let doc = Database.document db in
+      Array.iteri
+        (fun i tuple ->
+          if i < show then begin
+            let parts =
+              List.init (Sjos_pattern.Pattern.node_count p) (fun slot ->
+                  let n =
+                    Sjos_xml.Document.node doc (Sjos_exec.Tuple.get tuple slot)
+                  in
+                  Fmt.str "%s=%a" (Sjos_pattern.Pattern.name p slot)
+                    Sjos_xml.Node.pp n)
+            in
+            Fmt.pr "  %s@." (String.concat " " parts)
+          end)
+        tuples;
+      if Array.length tuples > show then
+        Fmt.pr "  ... (%d more; raise --show)@." (Array.length tuples - show);
+      if trace then Fmt.pr "@.%s@." (Sjos_obs.Report.to_string ())
+    end
   in
   let limit =
     Arg.(
@@ -176,7 +225,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
-    Term.(const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag)
+    Term.(
+      const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
+      $ trace_flag $ json_flag)
 
 (* ---------- explain ---------- *)
 
@@ -189,6 +240,69 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the plan the optimizer picks")
     Term.(const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run pattern file algorithm limit xpath trace json =
+    let db = Database.load_file file in
+    let p = parse_pattern ~xpath pattern in
+    let a, report =
+      with_obs ~trace (fun () ->
+          Database.analyze ~algorithm ?max_tuples:limit db p)
+    in
+    let exec = a.Database.exec in
+    if json then begin
+      let open Sjos_obs.Json in
+      let fields =
+        [
+          ("pattern", Str pattern);
+          ("matches", Int (Array.length exec.Sjos_exec.Executor.tuples));
+          ("exec_seconds", Float exec.Sjos_exec.Executor.seconds);
+          ("optimizer", Sjos_core.Optimizer.result_to_json p a.Database.opt);
+          ("operators", Sjos_plan.Explain.analysis_to_json p a.Database.rows);
+          ( "metrics",
+            Sjos_exec.Metrics.to_json exec.Sjos_exec.Executor.metrics );
+        ]
+      in
+      let fields =
+        match report with
+        | Some r -> fields @ [ ("observability", r) ]
+        | None -> fields
+      in
+      print_endline (to_string_pretty (Obj fields))
+    end
+    else begin
+      Fmt.pr "%s@." (Sjos_plan.Explain.analyze_to_string p a.Database.rows);
+      Fmt.pr
+        "%d matches in %.2f ms (optimization %.2f ms, %s, %d plans \
+         considered, est cost %.1f, actual cost %.1f)@."
+        (Array.length exec.Sjos_exec.Executor.tuples)
+        (exec.Sjos_exec.Executor.seconds *. 1000.)
+        (a.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
+        (Sjos_core.Optimizer.name algorithm)
+        a.Database.opt.Sjos_core.Optimizer.plans_considered
+        a.Database.opt.Sjos_core.Optimizer.est_cost
+        exec.Sjos_exec.Executor.cost_units;
+      if trace then Fmt.pr "@.%s@." (Sjos_obs.Report.to_string ())
+    end
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Abort if an intermediate result exceeds N tuples.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "EXPLAIN ANALYZE: execute the chosen plan and print a per-operator \
+          table of estimated vs. actual cardinality, cost units and wall \
+          time")
+    Term.(
+      const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
+      $ trace_flag $ json_flag)
 
 (* ---------- experiments ---------- *)
 
@@ -254,6 +368,7 @@ let main =
       stats_cmd;
       query_cmd;
       explain_cmd;
+      analyze_cmd;
       table1_cmd;
       table2_cmd;
       table3_cmd;

@@ -1,4 +1,5 @@
 open Sjos_pattern
+open Sjos_obs
 
 let update_min table status =
   let key = Status.key status in
@@ -16,14 +17,22 @@ let run ctx =
   let levels = Pattern.edge_count ctx.Search.pat in
   let current : (Status.key, Status.t) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.replace current (Status.key start) start;
+  let eff = ctx.Search.effort in
   let rec step lv current =
     if lv = levels then current
     else begin
       let next = Hashtbl.create 64 in
+      let span = Trace.begin_span "dp.level" ~attrs:[ ("level", Json.Int lv) ] in
       Hashtbl.iter
-        (fun _ status ->
-          List.iter (update_min next) (Search.expand ctx status))
+        (fun _ status -> List.iter (update_min next) (Search.expand ctx status))
         current;
+      Trace.end_span span
+        ~attrs:
+          [
+            ("statuses_kept", Json.Int (Hashtbl.length next));
+            ("generated_so_far", Json.Int eff.Effort.generated);
+            ("expanded_so_far", Json.Int eff.Effort.expanded);
+          ];
       step (lv + 1) next
     end
   in

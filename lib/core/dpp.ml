@@ -1,4 +1,5 @@
 open Sjos_pattern
+open Sjos_obs
 
 let run ?(lookahead = true) ?(expansion_bound = None) ?(left_deep = false)
     ?(prioritize_by_ub = true) ctx =
@@ -7,6 +8,7 @@ let run ?(lookahead = true) ?(expansion_bound = None) ?(left_deep = false)
       ctx.Search.pat
   in
   let levels = Pattern.edge_count ctx.Search.pat in
+  let eff = ctx.Search.effort in
   let best_cost : (Status.key, float) Hashtbl.t = Hashtbl.create 64 in
   let queue : Status.t Pq.t = Pq.create () in
   let min_full = ref infinity in
@@ -28,6 +30,19 @@ let run ?(lookahead = true) ?(expansion_bound = None) ?(left_deep = false)
     | None -> true
     | Some te -> expanded_at_level.(lv) < te && lv >= !saturated_above
   in
+  (* Per-level search effort, reported on the search span when tracing. *)
+  let tracing = Trace.enabled () in
+  let span =
+    Trace.begin_span "dpp.search"
+      ~attrs:
+        [
+          ("lookahead", Json.Bool lookahead);
+          ("left_deep", Json.Bool left_deep);
+          ( "expansion_bound",
+            match expansion_bound with Some te -> Json.Int te | None -> Json.Null );
+        ]
+  in
+  let expanded_per_level = if tracing then Array.make (levels + 1) 0 else [||] in
   let settle (s : Status.t) =
     if Status.is_final s then begin
       let cost, plan = Search.finalize ctx s in
@@ -49,7 +64,8 @@ let run ?(lookahead = true) ?(expansion_bound = None) ?(left_deep = false)
           if prioritize_by_ub then s.Status.cost +. Search.ub_cost ctx s
           else s.Status.cost
         in
-        Pq.push queue priority s
+        Pq.push queue priority s;
+        Effort.note_queue_depth eff (Pq.length queue)
       end
     end
   in
@@ -81,11 +97,31 @@ let run ?(lookahead = true) ?(expansion_bound = None) ?(left_deep = false)
           (* an expansion that created nothing (every successor was a
              lookahead deadend) does not use up the level's budget *)
           if successors <> [] then note_expansion (Status.level s);
+          if tracing then begin
+            let lv = Status.level s in
+            expanded_per_level.(lv) <- expanded_per_level.(lv) + 1
+          end;
           List.iter settle successors
         end;
         loop ()
   in
   loop ();
+  Trace.end_span span
+    ~attrs:
+      [
+        ("considered", Json.Int eff.Effort.considered);
+        ("generated", Json.Int eff.Effort.generated);
+        ("expanded", Json.Int eff.Effort.expanded);
+        ("pruned_bound", Json.Int eff.Effort.pruned_bound);
+        ("pruned_deadend", Json.Int eff.Effort.pruned_deadend);
+        ("pruned_left_deep", Json.Int eff.Effort.pruned_left_deep);
+        ("peak_queue_depth", Json.Int eff.Effort.peak_queue);
+        ( "expanded_per_level",
+          Json.List
+            (Array.to_list (Array.map (fun n -> Json.Int n) expanded_per_level))
+        );
+        ("best_cost", Json.Float !min_full);
+      ];
   match (!best, expansion_bound) with
   | Some r, _ -> r
   | None, Some _ ->

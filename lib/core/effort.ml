@@ -1,0 +1,50 @@
+open Sjos_obs
+
+type t = {
+  mutable considered : int;
+  mutable generated : int;
+  mutable expanded : int;
+  mutable pruned_bound : int;
+  mutable pruned_deadend : int;
+  mutable pruned_left_deep : int;
+  mutable peak_queue : int;
+}
+
+let create () =
+  {
+    considered = 0;
+    generated = 0;
+    expanded = 0;
+    pruned_bound = 0;
+    pruned_deadend = 0;
+    pruned_left_deep = 0;
+    peak_queue = 0;
+  }
+
+let note_queue_depth t depth = if depth > t.peak_queue then t.peak_queue <- depth
+
+let fields t =
+  [
+    ("considered", t.considered);
+    ("generated", t.generated);
+    ("expanded", t.expanded);
+    ("pruned_bound", t.pruned_bound);
+    ("pruned_deadend", t.pruned_deadend);
+    ("pruned_left_deep", t.pruned_left_deep);
+    ("peak_queue", t.peak_queue);
+  ]
+
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (fields t))
+
+let publish ~prefix t =
+  if Registry.enabled () then
+    List.iter
+      (fun (k, v) -> Registry.add (Registry.counter (prefix ^ "." ^ k)) v)
+      (fields t)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "considered=%d generated=%d expanded=%d pruned(bound=%d deadend=%d \
+     left_deep=%d) peak_queue=%d"
+    t.considered t.generated t.expanded t.pruned_bound t.pruned_deadend
+    t.pruned_left_deep t.peak_queue

@@ -1,0 +1,35 @@
+(** Search-effort accounting, shared by every optimization algorithm.
+
+    These counters are the paper's own currency (Table 2 reports "number
+    of plans considered"), so they are always on: plain mutable integers
+    whose increments cost nothing measurable and whose values are
+    deterministic — independent of whether tracing or the metrics
+    registry is enabled.  The observability layer reads them out (span
+    attributes, [to_json], registry publication) rather than owning
+    them. *)
+
+type t = {
+  mutable considered : int;  (** alternative (partial) plans costed *)
+  mutable generated : int;  (** statuses generated *)
+  mutable expanded : int;  (** statuses expanded *)
+  mutable pruned_bound : int;
+      (** successors discarded by the Pruning Rule (cost ≥ best plan) *)
+  mutable pruned_deadend : int;
+      (** successors discarded by DPP's Lookahead Rule *)
+  mutable pruned_left_deep : int;
+      (** moves skipped by the DPAP-LD left-deep-only rule *)
+  mutable peak_queue : int;  (** deepest priority-queue length observed *)
+}
+
+val create : unit -> t
+
+val note_queue_depth : t -> int -> unit
+(** Record the current priority-queue length, keeping the maximum. *)
+
+val to_json : t -> Sjos_obs.Json.t
+
+val publish : prefix:string -> t -> unit
+(** Copy the counters into the global metrics registry as
+    [prefix.considered] etc. (no-op while the registry is disabled). *)
+
+val pp : t Fmt.t

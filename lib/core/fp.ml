@@ -75,7 +75,8 @@ let best ctx =
                       card = merged_card;
                     })
                 order;
-              ctx.Search.considered <- ctx.Search.considered + 1;
+              let eff = ctx.Search.effort in
+              eff.Effort.considered <- eff.Effort.considered + 1;
               !acc
             in
             List.fold_left
@@ -98,18 +99,28 @@ let best_ordered_by ctx node =
   (r.cost, r.plan)
 
 let run ctx =
+  let span = Sjos_obs.Trace.begin_span "fp.search" in
   let go = best ctx in
-  match Pattern.order_by ctx.Search.pat with
-  | Some r ->
-      let s = go r (-1) in
-      (s.cost, s.plan)
-  | None ->
-      let n = Pattern.node_count ctx.Search.pat in
-      let best_result = ref None in
-      for center = 0 to n - 1 do
-        let s = go center (-1) in
-        match !best_result with
-        | Some (c, _) when c <= s.cost -> ()
-        | _ -> best_result := Some (s.cost, s.plan)
-      done;
-      Option.get !best_result
+  let result =
+    match Pattern.order_by ctx.Search.pat with
+    | Some r ->
+        let s = go r (-1) in
+        (s.cost, s.plan)
+    | None ->
+        let n = Pattern.node_count ctx.Search.pat in
+        let best_result = ref None in
+        for center = 0 to n - 1 do
+          let s = go center (-1) in
+          match !best_result with
+          | Some (c, _) when c <= s.cost -> ()
+          | _ -> best_result := Some (s.cost, s.plan)
+        done;
+        Option.get !best_result
+  in
+  Sjos_obs.Trace.end_span span
+    ~attrs:
+      [
+        ("considered", Sjos_obs.Json.Int ctx.Search.effort.Effort.considered);
+        ("best_cost", Sjos_obs.Json.Float (fst result));
+      ];
+  result

@@ -1,5 +1,6 @@
 open Sjos_pattern
 open Sjos_plan
+open Sjos_obs
 
 type algorithm =
   | Dp
@@ -28,13 +29,15 @@ type result = {
   statuses_generated : int;
   statuses_expanded : int;
   opt_seconds : float;
+  effort : Effort.t;
 }
-
-let now () = Unix.gettimeofday ()
 
 let optimize ?factors ~provider algorithm pat =
   let ctx = Search.make_ctx ?factors ~provider pat in
-  let t0 = now () in
+  let span =
+    Trace.begin_span "optimize" ~attrs:[ ("algorithm", Json.Str (name algorithm)) ]
+  in
+  let t0 = Clock.now_ns () in
   let est_cost, plan =
     match algorithm with
     | Dp -> Dp.run ctx
@@ -44,18 +47,38 @@ let optimize ?factors ~provider algorithm pat =
     | Dpap_ld -> Dpp.run ~left_deep:true ctx
     | Fp -> Fp.run ctx
   in
-  let opt_seconds = now () -. t0 in
+  let opt_seconds = Clock.elapsed_seconds ~since:t0 in
+  let eff = ctx.Search.effort in
+  Trace.end_span span
+    ~attrs:[ ("est_cost", Json.Float est_cost); ("effort", Effort.to_json eff) ];
+  Effort.publish ~prefix:("optimizer." ^ name algorithm) eff;
+  if Registry.enabled () then
+    Registry.add_seconds (Registry.timer "optimizer.opt_seconds") opt_seconds;
   {
     algorithm;
     plan;
     est_cost;
-    plans_considered = ctx.Search.considered;
-    statuses_generated = ctx.Search.generated;
-    statuses_expanded = ctx.Search.expanded;
+    plans_considered = eff.Effort.considered;
+    statuses_generated = eff.Effort.generated;
+    statuses_expanded = eff.Effort.expanded;
     opt_seconds;
+    effort = eff;
   }
 
 let pp_result pat ppf r =
   Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs@,%s@]"
     (name r.algorithm) r.est_cost r.plans_considered r.opt_seconds
     (Explain.to_string pat r.plan)
+
+let result_to_json pat r =
+  Json.Obj
+    [
+      ("algorithm", Json.Str (name r.algorithm));
+      ("est_cost", Json.Float r.est_cost);
+      ("plans_considered", Json.Int r.plans_considered);
+      ("statuses_generated", Json.Int r.statuses_generated);
+      ("statuses_expanded", Json.Int r.statuses_expanded);
+      ("opt_seconds", Json.Float r.opt_seconds);
+      ("effort", Effort.to_json r.effort);
+      ("plan", Json.Str (Explain.one_line pat r.plan));
+    ]

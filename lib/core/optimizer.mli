@@ -27,7 +27,9 @@ type result = {
   plans_considered : int;  (** alternative (sub-)plans costed *)
   statuses_generated : int;
   statuses_expanded : int;
-  opt_seconds : float;  (** wall-clock time spent optimizing *)
+  opt_seconds : float;
+      (** monotonic wall-clock time spent optimizing (never negative) *)
+  effort : Effort.t;  (** the full search-effort breakdown *)
 }
 
 val optimize :
@@ -40,3 +42,7 @@ val optimize :
     for the pattern ({!Sjos_plan.Properties.validate}). *)
 
 val pp_result : Pattern.t -> result Fmt.t
+
+val result_to_json : Pattern.t -> result -> Sjos_obs.Json.t
+(** Machine-readable counterpart of {!pp_result}: algorithm, estimated
+    cost, effort counters, optimization seconds and the one-line plan. *)

@@ -58,7 +58,8 @@ let generate rng ctx =
         |> List.sort (fun (a : Status.cluster) b ->
                compare a.Status.mask b.Status.mask)
       in
-      ctx.Search.considered <- ctx.Search.considered + 1;
+      ctx.Search.effort.Effort.considered <-
+        ctx.Search.effort.Effort.considered + 1;
       loop
         {
           Status.clusters;

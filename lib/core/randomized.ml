@@ -95,7 +95,8 @@ let build ctx d =
 let plan_from ctx rng prefix =
   let d = { rng; prefix; taken = [] } in
   let cost, plan = build ctx d in
-  ctx.Search.considered <- ctx.Search.considered + 1;
+  ctx.Search.effort.Effort.considered <-
+    ctx.Search.effort.Effort.considered + 1;
   (cost, plan, List.rev d.taken)
 
 (* Neighbor: keep a random prefix of the decision list, replan the rest. *)

@@ -7,9 +7,7 @@ type ctx = {
   factors : Cost_model.factors;
   provider : Costing.provider;
   edges : Pattern.edge array;
-  mutable considered : int;
-  mutable generated : int;
-  mutable expanded : int;
+  effort : Effort.t;
 }
 
 let make_ctx ?(factors = Cost_model.default) ~provider pat =
@@ -18,9 +16,7 @@ let make_ctx ?(factors = Cost_model.default) ~provider pat =
     factors;
     provider;
     edges = Array.of_list (Pattern.edges pat);
-    considered = 0;
-    generated = 0;
-    expanded = 0;
+    effort = Effort.create ();
   }
 
 let remaining_edges ctx (s : Status.t) =
@@ -70,17 +66,22 @@ let merge_clusters (s : Status.t) (cu : Status.cluster) (cv : Status.cluster)
 
 let expand ?(left_deep = false) ?(lookahead = false) ?(cost_bound = infinity)
     ctx (s : Status.t) =
-  ctx.expanded <- ctx.expanded + 1;
+  let eff = ctx.effort in
+  eff.Effort.expanded <- eff.Effort.expanded + 1;
   let successors = ref [] in
   let emit status =
     (* Pruning Rule, applied at generation time: a successor whose Cost
        already meets the best complete plan is dead and never considered. *)
-    if status.Status.cost < cost_bound then
-      if not (lookahead && is_deadend ctx status) then begin
-        ctx.considered <- ctx.considered + 1;
-        ctx.generated <- ctx.generated + 1;
+    if status.Status.cost < cost_bound then begin
+      if lookahead && is_deadend ctx status then
+        eff.Effort.pruned_deadend <- eff.Effort.pruned_deadend + 1
+      else begin
+        eff.Effort.considered <- eff.Effort.considered + 1;
+        eff.Effort.generated <- eff.Effort.generated + 1;
         successors := status :: !successors
       end
+    end
+    else eff.Effort.pruned_bound <- eff.Effort.pruned_bound + 1
   in
   List.iter
     (fun (edge_idx, (e : Pattern.edge)) ->
@@ -98,7 +99,9 @@ let expand ?(left_deep = false) ?(lookahead = false) ?(cost_bound = infinity)
           multi_in_inputs <= 1
           && Status.multi_cluster_count s = multi_in_inputs
         in
-        if (not left_deep) || stays_left_deep then begin
+        if left_deep && not stays_left_deep then
+          eff.Effort.pruned_left_deep <- eff.Effort.pruned_left_deep + 1
+        else begin
           let merged_mask = cu.Status.mask lor cv.Status.mask in
           let merged_card = ctx.provider.Costing.cluster_card merged_mask in
           let joined = s.Status.joined lor (1 lsl edge_idx) in

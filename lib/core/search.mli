@@ -1,5 +1,5 @@
 (** Shared search machinery: moves, expansion, deadend lookahead, final
-    sorting, and the counters every algorithm reports.
+    sorting, and the effort counters every algorithm reports.
 
     A move (Definition 4) evaluates one remaining pattern edge [(u, v)].
     Stack-Tree joins consume inputs sorted by the join nodes, so the move
@@ -17,9 +17,7 @@ type ctx = {
   factors : Sjos_cost.Cost_model.factors;
   provider : Costing.provider;
   edges : Pattern.edge array;
-  mutable considered : int;  (** alternative (partial) plans costed *)
-  mutable generated : int;  (** statuses generated *)
-  mutable expanded : int;  (** statuses expanded *)
+  effort : Effort.t;  (** search-effort counters, always on *)
 }
 
 val make_ctx :
@@ -46,13 +44,15 @@ val expand :
   Status.t ->
   Status.t list
 (** All successor statuses reachable by one move.  Every returned status
-    bumps [considered] and [generated]; the call itself bumps [expanded].
-    With [~left_deep:true], successors with two composite clusters are not
-    generated (the DPAP-LD rule).  With [~lookahead:true], deadend
+    bumps [effort.considered] and [effort.generated]; the call itself
+    bumps [effort.expanded].  With [~left_deep:true], successors with two
+    composite clusters are not generated (the DPAP-LD rule; skipped moves
+    bump [effort.pruned_left_deep]).  With [~lookahead:true], deadend
     successors are detected one step ahead and never generated nor counted
-    (DPP's Lookahead Rule).  Successors whose accumulated cost reaches
-    [cost_bound] (the cost of the best complete plan found so far) are dead
-    on arrival and are not generated either (the Pruning Rule). *)
+    (DPP's Lookahead Rule; bumps [effort.pruned_deadend]).  Successors
+    whose accumulated cost reaches [cost_bound] (the cost of the best
+    complete plan found so far) are dead on arrival and are not generated
+    either (the Pruning Rule; bumps [effort.pruned_bound]). *)
 
 val useful_sort_targets : ctx -> joined:int -> merged_mask:int -> int list
 (** Nodes of the merged cluster that some remaining edge still needs as an

@@ -53,3 +53,17 @@ let run_query ?algorithm ?max_tuples t pat =
 let explain ?algorithm t pat =
   let opt = optimize ?algorithm t pat in
   Explain.with_costs t.factors (provider t pat) pat opt.Optimizer.plan
+
+type analysis = {
+  opt : Optimizer.result;
+  exec : Executor.run;
+  rows : Explain.analysis_row list;
+}
+
+let analyze ?algorithm ?max_tuples t pat =
+  let opt = optimize ?algorithm t pat in
+  let exec = execute_plan ?max_tuples t pat opt.Optimizer.plan in
+  let rows =
+    Explain.analyze t.factors (provider t pat) pat exec.Executor.profile
+  in
+  { opt; exec; rows }

@@ -57,3 +57,17 @@ val execute_plan :
 
 val explain : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> string
 (** The chosen plan, rendered with estimated cardinalities and costs. *)
+
+type analysis = {
+  opt : Optimizer.result;
+  exec : Executor.run;
+  rows : Sjos_plan.Explain.analysis_row list;
+      (** one row per plan operator, pre-order *)
+}
+
+val analyze :
+  ?algorithm:Optimizer.algorithm -> ?max_tuples:int -> t -> Pattern.t -> analysis
+(** EXPLAIN ANALYZE: optimize, execute, and compare the optimizer's
+    estimates against measured per-operator cardinalities, cost units and
+    wall time.  Render with {!Sjos_plan.Explain.analyze_to_string} or
+    {!Sjos_plan.Explain.analysis_to_json}. *)

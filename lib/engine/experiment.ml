@@ -40,14 +40,15 @@ let run_cell ?max_tuples db pat algorithm =
 let bad_plan_cell ?(seed = 42) ?(samples = 20) ?max_tuples db pat =
   let provider = Database.provider db pat in
   let ctx = Search.make_ctx ~factors:(Database.factors db) ~provider pat in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sjos_obs.Clock.now_ns () in
   let est_cost, plan = Random_plan.worst_of ~seed ctx samples in
-  let opt_seconds = Unix.gettimeofday () -. t0 in
+  let opt_seconds = Sjos_obs.Clock.elapsed_seconds ~since:t0 in
+  let considered = ctx.Search.effort.Effort.considered in
   match Database.execute_plan ?max_tuples db pat plan with
   | exec ->
       {
         opt_seconds;
-        plans_considered = ctx.Search.considered;
+        plans_considered = considered;
         eval_units = exec.Executor.cost_units;
         eval_seconds = exec.Executor.seconds;
         matches = Array.length exec.Executor.tuples;
@@ -57,7 +58,7 @@ let bad_plan_cell ?(seed = 42) ?(samples = 20) ?max_tuples db pat =
       (* too expensive to run safely: report the cost-model estimate *)
       {
         opt_seconds;
-        plans_considered = ctx.Search.considered;
+        plans_considered = considered;
         eval_units = est_cost;
         eval_seconds = nan;
         matches = -1;
@@ -100,6 +101,35 @@ let table1 ?sizes ?max_tuples () =
       let bad = bad_plan_cell ?max_tuples db pat in
       { query; cells; bad })
     Workload.queries
+
+let cell_to_json (c : cell) =
+  let open Sjos_obs.Json in
+  Obj
+    [
+      ("est_cost_units", Float c.est_cost);
+      ("actual_cost_units", Float c.eval_units);
+      ("plans_considered", Int c.plans_considered);
+      ("opt_seconds", Float c.opt_seconds);
+      ("eval_seconds", Float c.eval_seconds);
+      ("matches", Int c.matches);
+    ]
+
+let table1_to_json rows =
+  let open Sjos_obs.Json in
+  List
+    (List.map
+       (fun row ->
+         Obj
+           [
+             ("query", Str row.query.Workload.id);
+             ( "algorithms",
+               Obj
+                 (List.map
+                    (fun (algo, c) -> (Optimizer.name algo, cell_to_json c))
+                    row.cells) );
+             ("bad_plan", cell_to_json row.bad);
+           ])
+       rows)
 
 let print_table1 rows =
   let pr fmt = Printf.printf fmt in

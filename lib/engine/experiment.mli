@@ -46,6 +46,13 @@ val table1 :
 
 val print_table1 : table1_row list -> unit
 
+val cell_to_json : cell -> Sjos_obs.Json.t
+
+val table1_to_json : table1_row list -> Sjos_obs.Json.t
+(** One object per query: the per-algorithm cells keyed by algorithm name
+    (est/actual cost units, plans considered, opt seconds, …) plus the bad
+    plan — the payload the bench harness writes to [BENCH_1.json]. *)
+
 (** {1 Table 2} — optimization time and number of plans considered *)
 
 type table2_row = { algo_name : string; opt_seconds : float; considered : int }

@@ -2,6 +2,7 @@ open Sjos_storage
 open Sjos_pattern
 open Sjos_cost
 open Sjos_plan
+open Sjos_obs
 
 exception Tuple_limit_exceeded of int
 
@@ -10,7 +11,13 @@ type run = {
   metrics : Metrics.t;
   cost_units : float;
   seconds : float;
+  profile : Explain.measured;
 }
+
+let op_span_name = function
+  | Plan.Index_scan _ -> "exec.index_scan"
+  | Plan.Sort _ -> "exec.sort"
+  | Plan.Structural_join _ -> "exec.join"
 
 let execute ?(factors = Cost_model.default) ?max_tuples index pat plan =
   (match Properties.validate pat plan with
@@ -25,24 +32,74 @@ let execute ?(factors = Cost_model.default) ?max_tuples index pat plan =
         raise (Tuple_limit_exceeded (Array.length tuples))
     | _ -> tuples
   in
-  let t0 = Unix.gettimeofday () in
-  let rec eval = function
-    | Plan.Index_scan i ->
-        let candidates = Candidate.select index (Pattern.label pat i) in
-        check_limit (Operators.index_scan ~metrics ~width ~slot:i candidates)
-    | Plan.Sort { input; by } ->
-        Operators.sort ~metrics ~doc ~by (eval input)
-    | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
-        let anc_tuples = eval anc_side in
-        let desc_tuples = eval desc_side in
-        check_limit
-          (Stack_tree.join ~metrics ~doc ~axis:edge.Pattern.axis ~algo
-             ~anc:(anc_tuples, edge.Pattern.anc)
-             ~desc:(desc_tuples, edge.Pattern.desc))
+  let t0 = Clock.now_ns () in
+  (* Each operator gets its own metrics and its own (monotonic) self time,
+     so the run profile prices every operator separately; the per-operator
+     metrics are folded into the run total afterwards. *)
+  let rec eval plan =
+    let inputs, apply =
+      match plan with
+      | Plan.Index_scan i ->
+          ( [],
+            fun own _ ->
+              let candidates = Candidate.select index (Pattern.label pat i) in
+              check_limit
+                (Operators.index_scan ~metrics:own ~width ~slot:i candidates) )
+      | Plan.Sort { input; by } ->
+          ( [ input ],
+            fun own -> function
+              | [ (tuples, _) ] -> Operators.sort ~metrics:own ~doc ~by tuples
+              | _ -> assert false )
+      | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
+          ( [ anc_side; desc_side ],
+            fun own -> function
+              | [ (anc_tuples, _); (desc_tuples, _) ] ->
+                  check_limit
+                    (Stack_tree.join ~metrics:own ~doc ~axis:edge.Pattern.axis
+                       ~algo
+                       ~anc:(anc_tuples, edge.Pattern.anc)
+                       ~desc:(desc_tuples, edge.Pattern.desc))
+              | _ -> assert false )
+    in
+    (* the span opens before the inputs run so child operators nest *)
+    let span = Trace.begin_span (op_span_name plan) in
+    let child_results =
+      (* left-to-right: ancestor side before descendant side *)
+      List.rev (List.fold_left (fun acc p -> eval p :: acc) [] inputs)
+    in
+    let own = Metrics.create () in
+    let op_t0 = Clock.now_ns () in
+    let tuples = apply own child_results in
+    let seconds = Clock.elapsed_seconds ~since:op_t0 in
+    Trace.end_span span
+      ~attrs:
+        [
+          ("rows", Json.Int (Array.length tuples));
+          ("cost_units", Json.Float (Metrics.cost_units factors own));
+        ];
+    Metrics.add metrics own;
+    ( tuples,
+      {
+        Explain.mplan = plan;
+        rows = Array.length tuples;
+        units = Metrics.cost_units factors own;
+        seconds;
+        inputs = List.map snd child_results;
+      } )
   in
-  let tuples = eval plan in
-  let seconds = Unix.gettimeofday () -. t0 in
-  { tuples; metrics; cost_units = Metrics.cost_units factors metrics; seconds }
+  let tuples, profile = eval plan in
+  let seconds = Clock.elapsed_seconds ~since:t0 in
+  if Registry.enabled () then begin
+    Registry.add_seconds (Registry.timer "executor.seconds") seconds;
+    Registry.add (Registry.counter "executor.output_tuples") (Array.length tuples)
+  end;
+  {
+    tuples;
+    metrics;
+    cost_units = Metrics.cost_units factors metrics;
+    seconds;
+    profile;
+  }
 
 let count_matches ?factors index pat plan =
   Array.length (execute ?factors index pat plan).tuples

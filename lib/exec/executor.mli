@@ -14,7 +14,10 @@ type run = {
   tuples : Tuple.t array;  (** the pattern matches, one tuple per match *)
   metrics : Metrics.t;  (** accumulated operation counts *)
   cost_units : float;  (** metrics weighted by the cost-model factors *)
-  seconds : float;  (** wall-clock execution time *)
+  seconds : float;  (** monotonic wall-clock execution time *)
+  profile : Explain.measured;
+      (** per-operator actual rows, cost units and self time — feed to
+          {!Sjos_plan.Explain.analyze} for EXPLAIN ANALYZE *)
 }
 
 val execute :

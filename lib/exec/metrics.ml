@@ -54,3 +54,16 @@ let pp ppf t =
     "idx=%d stack=%d io=%d sorted=%d out=%d joins=%d sorts=%d"
     t.index_items t.stack_ops t.io_items t.sorted_items t.output_tuples
     t.joins t.sorts
+
+let to_json t =
+  Sjos_obs.Json.Obj
+    [
+      ("index_items", Sjos_obs.Json.Int t.index_items);
+      ("stack_ops", Sjos_obs.Json.Int t.stack_ops);
+      ("io_items", Sjos_obs.Json.Int t.io_items);
+      ("sorted_items", Sjos_obs.Json.Int t.sorted_items);
+      ("sort_cost", Sjos_obs.Json.Float t.sort_cost);
+      ("output_tuples", Sjos_obs.Json.Int t.output_tuples);
+      ("joins", Sjos_obs.Json.Int t.joins);
+      ("sorts", Sjos_obs.Json.Int t.sorts);
+    ]

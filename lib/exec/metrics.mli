@@ -27,3 +27,6 @@ val cost_units : Sjos_cost.Cost_model.factors -> t -> float
     [f_index*index + f_stack*stack + f_io*io + f_sort*sort_cost]. *)
 
 val pp : t Fmt.t
+
+val to_json : t -> Sjos_obs.Json.t
+(** Machine-readable counterpart of {!pp}, one field per counter. *)

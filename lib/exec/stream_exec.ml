@@ -169,16 +169,16 @@ let first_k index pat plan k =
   stream index pat plan |> Seq.take k |> List.of_seq
 
 let time_to_first index pat plan =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sjos_obs.Clock.now_ns () in
   let s = stream index pat plan in
   let first =
     match s () with
-    | Seq.Nil -> Unix.gettimeofday () -. t0
-    | Seq.Cons (_, _) -> Unix.gettimeofday () -. t0
+    | Seq.Nil -> Sjos_obs.Clock.elapsed_seconds ~since:t0
+    | Seq.Cons (_, _) -> Sjos_obs.Clock.elapsed_seconds ~since:t0
   in
   (* drain from scratch for the total (sequences are persistent, but
      re-evaluating avoids keeping the whole result in memory) *)
-  let t1 = Unix.gettimeofday () in
+  let t1 = Sjos_obs.Clock.now_ns () in
   let n = Seq.fold_left (fun acc _ -> acc + 1) 0 (stream index pat plan) in
   ignore n;
-  (first, Unix.gettimeofday () -. t1)
+  (first, Sjos_obs.Clock.elapsed_seconds ~since:t1)

@@ -1,0 +1,163 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+type timer = { t_name : string; mutable seconds : float; mutable samples : int }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* upper bounds, ascending; +inf bucket implicit *)
+  bucket_counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let find_or_add table name make =
+  match Hashtbl.find_opt table name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.add table name x;
+      x
+
+let counter name =
+  find_or_add counters name (fun () -> { c_name = name; count = 0 })
+
+let incr c = if !on then c.count <- c.count + 1
+let add c n = if !on then c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge name = find_or_add gauges name (fun () -> { g_name = name; value = 0.0 })
+let set_gauge g v = if !on then g.value <- v
+let gauge_value g = g.value
+
+let timer name =
+  find_or_add timers name (fun () -> { t_name = name; seconds = 0.0; samples = 0 })
+
+let add_seconds t s =
+  if !on then begin
+    t.seconds <- t.seconds +. s;
+    t.samples <- t.samples + 1
+  end
+
+let time t f =
+  if not !on then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let record () = add_seconds t (Clock.elapsed_seconds ~since:t0) in
+    match f () with
+    | r ->
+        record ();
+        r
+    | exception e ->
+        record ();
+        raise e
+  end
+
+let timer_total t = t.seconds
+let timer_count t = t.samples
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1000.0 |]
+
+let histogram ?(buckets = default_buckets) name =
+  find_or_add histograms name (fun () ->
+      {
+        h_name = name;
+        bounds = Array.copy buckets;
+        bucket_counts = Array.make (Array.length buckets + 1) 0;
+        h_count = 0;
+        h_sum = 0.0;
+      })
+
+let observe h v =
+  if !on then begin
+    let nb = Array.length h.bounds in
+    let rec slot i = if i >= nb || v <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset timers;
+  Hashtbl.reset histograms
+
+let sorted_values table =
+  Hashtbl.fold (fun _ v acc -> v :: acc) table []
+
+let to_json () =
+  let by fst_of l = List.sort (fun a b -> compare (fst_of a) (fst_of b)) l in
+  let counters_j =
+    sorted_values counters
+    |> List.map (fun c -> (c.c_name, Json.Int c.count))
+    |> by fst
+  in
+  let gauges_j =
+    sorted_values gauges |> List.map (fun g -> (g.g_name, Json.Float g.value)) |> by fst
+  in
+  let timers_j =
+    sorted_values timers
+    |> List.map (fun t ->
+           ( t.t_name,
+             Json.Obj [ ("seconds", Json.Float t.seconds); ("count", Json.Int t.samples) ] ))
+    |> by fst
+  in
+  let histograms_j =
+    sorted_values histograms
+    |> List.map (fun h ->
+           let buckets =
+             List.init
+               (Array.length h.bucket_counts)
+               (fun i ->
+                 Json.Obj
+                   [
+                     ( "le",
+                       if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                       else Json.Str "+inf" );
+                     ("count", Json.Int h.bucket_counts.(i));
+                   ])
+           in
+           ( h.h_name,
+             Json.Obj
+               [
+                 ("count", Json.Int h.h_count);
+                 ("sum", Json.Float h.h_sum);
+                 ("buckets", Json.List buckets);
+               ] ))
+    |> by fst
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters_j);
+      ("gauges", Json.Obj gauges_j);
+      ("timers", Json.Obj timers_j);
+      ("histograms", Json.Obj histograms_j);
+    ]
+
+let pp ppf () =
+  let line fmt = Fmt.pf ppf fmt in
+  List.iter
+    (fun (c : counter) -> line "counter %-40s %d@." c.c_name c.count)
+    (List.sort compare (sorted_values counters));
+  List.iter
+    (fun (g : gauge) -> line "gauge   %-40s %g@." g.g_name g.value)
+    (List.sort compare (sorted_values gauges));
+  List.iter
+    (fun (t : timer) ->
+      line "timer   %-40s %.6fs over %d@." t.t_name t.seconds t.samples)
+    (List.sort compare (sorted_values timers));
+  List.iter
+    (fun (h : histogram) ->
+      line "histo   %-40s n=%d sum=%g@." h.h_name h.h_count h.h_sum)
+    (List.sort compare (sorted_values histograms))

@@ -1,0 +1,62 @@
+(** A process-global metrics registry: named counters, gauges, timers and
+    fixed-bucket histograms.
+
+    Instruments are created (or found) by name; recording into them is a
+    single branch plus a field write, and becomes a pure no-op when the
+    registry is disabled ([set_enabled false], the default), so
+    instrumented hot paths pay nothing in production runs that do not ask
+    for metrics.
+
+    The registry is deliberately not the source of truth for quantities
+    the system's behavior depends on (search-effort counters, executor
+    cost accounting keep their own always-on structures); it is the
+    aggregation and export layer above them. *)
+
+type counter
+type gauge
+type timer
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Find or create; the same name always yields the same instrument. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val timer : string -> timer
+
+val add_seconds : timer -> float -> unit
+(** Record one observation of the given duration. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its monotonic duration (even when an
+    exception escapes). *)
+
+val timer_total : timer -> float
+val timer_count : timer -> int
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are upper bounds of cumulative buckets (a final [+inf]
+    bucket is implicit).  Defaults to powers of ten from 1e-6 to 1e3. *)
+
+val observe : histogram -> float -> unit
+
+val reset : unit -> unit
+(** Drop every instrument (tests). *)
+
+val to_json : unit -> Json.t
+(** Snapshot of every instrument:
+    [{"counters": {..}, "gauges": {..},
+      "timers": {name: {"seconds": s, "count": n}, ..},
+      "histograms": {name: {"count": n, "sum": s, "buckets": [{"le": b, "count": n}..]}, ..}}] *)
+
+val pp : unit Fmt.t
+(** Human-readable one-instrument-per-line dump. *)

@@ -1,0 +1,31 @@
+let enable_all () =
+  Registry.set_enabled true;
+  Trace.set_enabled true
+
+let disable_all () =
+  Registry.set_enabled false;
+  Trace.set_enabled false
+
+let reset_all () =
+  Registry.reset ();
+  Trace.reset ()
+
+let to_json () =
+  Json.Obj [ ("metrics", Registry.to_json ()); ("trace", Trace.to_json ()) ]
+
+let to_string () =
+  let metrics = Fmt.str "%a" Registry.pp () in
+  let trace = Trace.to_string () in
+  match (metrics, trace) with
+  | "", "" -> ""
+  | m, "" -> m
+  | "", t -> t
+  | m, t -> m ^ "\n" ^ t
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n')

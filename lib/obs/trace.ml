@@ -1,0 +1,124 @@
+type span = {
+  name : string;
+  start_ns : int64;
+  mutable end_ns : int64 option;
+  mutable attrs : (string * Json.t) list;
+  mutable children_rev : span list;
+  dummy : bool;
+}
+
+let null_span =
+  {
+    name = "";
+    start_ns = 0L;
+    end_ns = Some 0L;
+    attrs = [];
+    children_rev = [];
+    dummy = true;
+  }
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+(* Recorded forest: finished roots in reverse order, plus the stack of
+   currently-open spans (innermost first). *)
+let roots_rev : span list ref = ref []
+let open_stack : span list ref = ref []
+
+let reset () =
+  roots_rev := [];
+  open_stack := []
+
+let is_empty () = !roots_rev = [] && !open_stack = []
+
+let begin_span ?(attrs = []) name =
+  if not !on then null_span
+  else begin
+    let s =
+      {
+        name;
+        start_ns = Clock.now_ns ();
+        end_ns = None;
+        attrs;
+        children_rev = [];
+        dummy = false;
+      }
+    in
+    (match !open_stack with
+    | parent :: _ -> parent.children_rev <- s :: parent.children_rev
+    | [] -> roots_rev := s :: !roots_rev);
+    open_stack := s :: !open_stack;
+    s
+  end
+
+let add_attr s key v = if not s.dummy then s.attrs <- s.attrs @ [ (key, v) ]
+
+let end_span ?(attrs = []) s =
+  if not s.dummy && s.end_ns = None then begin
+    let now = Clock.now_ns () in
+    (* close any descendants left open, then the span itself *)
+    let rec close_to () =
+      match !open_stack with
+      | top :: rest ->
+          open_stack := rest;
+          if top.end_ns = None then top.end_ns <- Some now;
+          if top != s then close_to ()
+      | [] -> ()
+    in
+    if List.memq s !open_stack then close_to () else s.end_ns <- Some now;
+    s.attrs <- s.attrs @ attrs
+  end
+
+let with_span ?attrs name f =
+  if not !on then f ()
+  else begin
+    let s = begin_span ?attrs name in
+    match f () with
+    | r ->
+        end_span s;
+        r
+    | exception e ->
+        end_span s;
+        raise e
+  end
+
+let event ?attrs name =
+  if !on then end_span (begin_span ?attrs name)
+
+let span_seconds s =
+  let finish = match s.end_ns with Some t -> t | None -> Clock.now_ns () in
+  Clock.seconds_of_ns (Int64.sub finish s.start_ns)
+
+let rec span_to_json s =
+  let fields =
+    [ ("name", Json.Str s.name); ("seconds", Json.Float (span_seconds s)) ]
+  in
+  let fields =
+    if s.attrs = [] then fields else fields @ [ ("attrs", Json.Obj s.attrs) ]
+  in
+  let fields =
+    match s.children_rev with
+    | [] -> fields
+    | kids ->
+        fields @ [ ("children", Json.List (List.rev_map span_to_json kids)) ]
+  in
+  Json.Obj fields
+
+let to_json () = Json.List (List.rev_map span_to_json !roots_rev)
+
+let to_string () =
+  let buf = Buffer.create 256 in
+  let rec emit depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf s.name;
+    Buffer.add_string buf (Printf.sprintf "  %.3f ms" (span_seconds s *. 1e3));
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %s=%s" k (Json.to_string v)))
+      s.attrs;
+    Buffer.add_char buf '\n';
+    List.iter (emit (depth + 1)) (List.rev s.children_rev)
+  in
+  List.iter (emit 0) (List.rev !roots_rev);
+  Buffer.contents buf

@@ -42,6 +42,89 @@ let with_costs factors provider pat plan =
   in
   render annotate pat plan
 
+(* ---------- EXPLAIN ANALYZE ---------- *)
+
+type measured = {
+  mplan : Plan.t;
+  rows : int;
+  units : float;
+  seconds : float;
+  inputs : measured list;
+}
+
+type analysis_row = {
+  op : Plan.t;
+  depth : int;
+  est_rows : float;
+  actual_rows : int;
+  est_units : float;
+  actual_units : float;
+  q_error : float;
+  seconds : float;
+}
+
+(* Moerkotte's q-error, made total: both sides are clamped to >= 1 so a
+   zero on either side reads as "off by the other side's magnitude" and
+   exact zero-vs-zero is a perfect 1.0. *)
+let q_error ~est ~actual =
+  let e = Float.max est 1.0 and a = Float.max actual 1.0 in
+  Float.max (e /. a) (a /. e)
+
+let analyze factors provider _pat measured =
+  let rec walk depth m acc =
+    let est_rows = provider.Costing.cluster_card (Plan.nodes_mask m.mplan) in
+    let row =
+      {
+        op = m.mplan;
+        depth;
+        est_rows;
+        actual_rows = m.rows;
+        est_units = Costing.operator_cost factors provider m.mplan;
+        actual_units = m.units;
+        q_error = q_error ~est:est_rows ~actual:(float_of_int m.rows);
+        seconds = m.seconds;
+      }
+    in
+    List.fold_left (fun acc i -> walk (depth + 1) i acc) (row :: acc) m.inputs
+  in
+  List.rev (walk 0 measured [])
+
+let analyze_to_string pat rows =
+  let buf = Buffer.create 512 in
+  let col_op = 46 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %10s %10s %7s %12s %12s %10s\n" col_op "operator"
+       "est.rows" "act.rows" "q-err" "est.units" "act.units" "time(ms)");
+  List.iter
+    (fun r ->
+      let label = String.make (2 * r.depth) ' ' ^ describe pat r.op in
+      let label =
+        if String.length label > col_op then String.sub label 0 col_op else label
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %10.0f %10d %7.2f %12.1f %12.1f %10.3f\n" col_op
+           label r.est_rows r.actual_rows r.q_error r.est_units r.actual_units
+           (r.seconds *. 1e3)))
+    rows;
+  Buffer.contents buf
+
+let analysis_to_json pat rows =
+  Sjos_obs.Json.List
+    (List.map
+       (fun r ->
+         Sjos_obs.Json.Obj
+           [
+             ("operator", Sjos_obs.Json.Str (describe pat r.op));
+             ("depth", Sjos_obs.Json.Int r.depth);
+             ("est_rows", Sjos_obs.Json.Float r.est_rows);
+             ("actual_rows", Sjos_obs.Json.Int r.actual_rows);
+             ("q_error", Sjos_obs.Json.Float r.q_error);
+             ("est_cost_units", Sjos_obs.Json.Float r.est_units);
+             ("actual_cost_units", Sjos_obs.Json.Float r.actual_units);
+             ("seconds", Sjos_obs.Json.Float r.seconds);
+           ])
+       rows)
+
 let one_line pat plan =
   let buf = Buffer.create 64 in
   let rec emit = function

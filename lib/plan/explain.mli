@@ -24,3 +24,50 @@ val with_costs :
 val one_line : Pattern.t -> Plan.t -> string
 (** Compact nested form, e.g. ["((A anc B) desc (C))"], for logs and test
     failure messages. *)
+
+(** {1 EXPLAIN ANALYZE}
+
+    [measured] is the per-operator execution profile the executor collects
+    (actual output rows, actual cost units and self wall time per
+    operator); [analyze] joins it with the optimizer's estimates to
+    produce one row per plan operator — the estimated-vs-actual view that
+    checks the cost model per operator rather than per plan. *)
+
+type measured = {
+  mplan : Plan.t;  (** the operator (root of this measured subtree) *)
+  rows : int;  (** tuples this operator output *)
+  units : float;  (** cost units of this operator alone *)
+  seconds : float;  (** wall time of this operator alone *)
+  inputs : measured list;  (** profiles of the operator's inputs *)
+}
+
+type analysis_row = {
+  op : Plan.t;
+  depth : int;  (** nesting depth in the plan tree (root = 0) *)
+  est_rows : float;  (** optimizer's cardinality estimate for the output *)
+  actual_rows : int;
+  est_units : float;  (** cost-model estimate for this operator alone *)
+  actual_units : float;
+  q_error : float;
+      (** max(est/act, act/est) with both sides clamped to ≥ 1 *)
+  seconds : float;
+}
+
+val q_error : est:float -> actual:float -> float
+(** Moerkotte's q-error, [max (est/act) (act/est)] with both operands
+    clamped to at least 1 so empty results stay finite. *)
+
+val analyze :
+  Sjos_cost.Cost_model.factors ->
+  Costing.provider ->
+  Pattern.t ->
+  measured ->
+  analysis_row list
+(** One row per operator, in pre-order (an operator before its inputs,
+    ancestor side first) — the same order {!to_string} renders. *)
+
+val analyze_to_string : Pattern.t -> analysis_row list -> string
+(** Fixed-width per-operator table with estimated vs. actual cardinality,
+    q-error, cost units and wall time. *)
+
+val analysis_to_json : Pattern.t -> analysis_row list -> Sjos_obs.Json.t

@@ -43,8 +43,9 @@ let test_expand_moves () =
       check ci "two clusters" 2 (List.length succ.Status.clusters);
       check cb "cost grows" true (succ.Status.cost >= s.Status.cost))
     succs;
-  check ci "expanded counter" 1 ctx.Search.expanded;
-  check ci "considered = generated" ctx.Search.generated ctx.Search.considered
+  check ci "expanded counter" 1 ctx.Search.effort.Effort.expanded;
+  check ci "considered = generated" ctx.Search.effort.Effort.generated
+    ctx.Search.effort.Effort.considered
 
 let test_deadend_detection () =
   let p = Helpers.pat "a(//b,//c)" in
