@@ -252,7 +252,10 @@ let ablation_holistic () =
              ~size:(scaled (Workload.default_size q.Workload.dataset))
              q.Workload.dataset)
       in
-      let cell = Experiment.run_cell db q.Workload.pattern Optimizer.Dpp in
+      let cell =
+        Experiment.run_cell ~opts:(Experiment.cold_opts Optimizer.Dpp) db
+          q.Workload.pattern
+      in
       let metrics = Sjos_exec.Metrics.create () in
       let is_path = Sjos_pattern.Pattern.is_path q.Workload.pattern in
       let out =
@@ -439,7 +442,10 @@ let extension_calibration () =
         in
         List.filter_map
           (fun algo ->
-            match Experiment.run_cell db q.Workload.pattern algo with
+            match
+              Experiment.run_cell ~opts:(Experiment.cold_opts algo) db
+                q.Workload.pattern
+            with
             | cell when cell.Experiment.matches >= 0 ->
                 let run =
                   Database.run_query ~algorithm:algo db q.Workload.pattern
@@ -459,6 +465,101 @@ let extension_calibration () =
   Printf.printf "mean relative error predicting seconds: %.1f%%\n"
     (100. *. seconds_error fitted)
 
+(* ------------------------------------------------------------------ *)
+(* Plan-cache effectiveness: repeated queries should pay (almost) no
+   plan-selection cost.  Cold = fresh search after an epoch bump; warm =
+   fingerprint lookup in the LRU cache.                                 *)
+
+let bench_cache () =
+  section "Plan cache: cold vs warm plan selection (Mbench workload)";
+  let db =
+    Database.of_document
+      (Workload.generate
+         ~size:(scaled (Workload.default_size Workload.Mbench))
+         Workload.Mbench)
+  in
+  let best_of n f =
+    let rec go k acc = if k = 0 then acc else go (k - 1) (Float.min acc (f ())) in
+    go (n - 1) (f ())
+  in
+  Printf.printf "%-14s | %-10s | %12s | %12s | %9s\n" "query" "algorithm"
+    "cold opt(ms)" "warm opt(ms)" "speedup";
+  let rows = ref [] in
+  let dpp_speedups = ref [] in
+  let tuples_identical = ref true in
+  let queries =
+    List.filter
+      (fun (q : Workload.query) -> q.Workload.dataset = Workload.Mbench)
+      Workload.queries
+  in
+  List.iter
+    (fun (q : Workload.query) ->
+      let pat = q.Workload.pattern in
+      List.iter
+        (fun algo ->
+          let opts = Query_opts.make ~algorithm:algo () in
+          let cold_t =
+            best_of 5 (fun () ->
+                Database.invalidate_plans db;
+                let p = Database.prepare ~opts db pat in
+                (Database.prepared_result p).Optimizer.opt_seconds)
+          in
+          let cold_run = Database.run ~opts:(Query_opts.cold opts) db pat in
+          (* seed the cache once, then time pure lookups *)
+          Database.invalidate_plans db;
+          ignore (Database.run ~opts db pat);
+          let warm_t =
+            best_of 5 (fun () ->
+                let p = Database.prepare ~opts db pat in
+                if not (Database.prepared_from_cache p) then
+                  Printf.printf "!! %s/%s: warm prepare missed the cache\n"
+                    q.Workload.id (Optimizer.name algo);
+                (Database.prepared_result p).Optimizer.opt_seconds)
+          in
+          let warm_run = Database.run ~opts db pat in
+          if
+            cold_run.Database.exec.Sjos_exec.Executor.tuples
+            <> warm_run.Database.exec.Sjos_exec.Executor.tuples
+          then begin
+            tuples_identical := false;
+            Printf.printf "!! %s/%s: cached plan changed the result\n"
+              q.Workload.id (Optimizer.name algo)
+          end;
+          let speedup = cold_t /. Float.max warm_t 1e-9 in
+          if algo = Optimizer.Dpp then
+            dpp_speedups := speedup :: !dpp_speedups;
+          Printf.printf "%-14s | %-10s | %12.3f | %12.4f | %8.0fx\n"
+            q.Workload.id (Optimizer.name algo) (cold_t *. 1000.)
+            (warm_t *. 1000.) speedup;
+          rows :=
+            Sjos_obs.Json.Obj
+              [
+                ("query", Sjos_obs.Json.Str q.Workload.id);
+                ("algorithm", Sjos_obs.Json.Str (Optimizer.name algo));
+                ("cold_opt_seconds", Sjos_obs.Json.Float cold_t);
+                ("warm_opt_seconds", Sjos_obs.Json.Float warm_t);
+                ("speedup", Sjos_obs.Json.Float speedup);
+              ]
+            :: !rows)
+        (Optimizer.all pat))
+    queries;
+  let payload =
+    Sjos_obs.Json.Obj
+      [
+        ("cells", Sjos_obs.Json.List (List.rev !rows));
+        ( "plan_cache",
+          Sjos_cache.Plan_cache.to_json (Database.plan_cache db) );
+      ]
+  in
+  let bench_json = "BENCH_CACHE.json" in
+  Sjos_obs.Report.write_file bench_json payload;
+  Printf.printf "wrote %s (%d cells)\n" bench_json (List.length !rows);
+  let dpp_ok = List.for_all (fun s -> s >= 10.) !dpp_speedups in
+  Printf.printf
+    "shape check: warm DPP plan selection >= 10x faster than cold, cached \
+     tuples identical: %s\n"
+    (if dpp_ok && !tuples_identical then "PASS" else "FAIL")
+
 let () =
   Printf.printf "sjos benchmark harness (scale=%.2f%s)\n" scale
     (if fast then ", fast mode" else "");
@@ -475,5 +576,6 @@ let () =
   extension_estimation ();
   extension_time_to_first ();
   extension_calibration ();
+  bench_cache ();
   if not fast then micro ();
   print_newline ()

@@ -151,13 +151,23 @@ let stats_cmd =
 
 (* ---------- query ---------- *)
 
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the plan cache: always run a fresh optimizer search.")
+
 let query_cmd =
-  let run pattern file algorithm limit show xpath trace json =
+  let run pattern file algorithm limit show xpath trace json no_cache =
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
-    let run, report =
+    let opts =
+      Query_opts.make ~algorithm ?max_tuples:limit ~use_cache:(not no_cache) ()
+    in
+    let (prep, run), report =
       with_obs ~trace (fun () ->
-          Database.run_query ~algorithm ?max_tuples:limit db p)
+          let prep = Database.prepare ~opts db p in
+          (prep, Database.exec prep))
     in
     let tuples = run.Database.exec.Sjos_exec.Executor.tuples in
     if json then begin
@@ -165,6 +175,8 @@ let query_cmd =
       let fields =
         [
           ("pattern", Str pattern);
+          ("fingerprint", Str (Database.prepared_fingerprint prep));
+          ("plan_cached", Bool (Database.prepared_from_cache prep));
           ("matches", Int (Array.length tuples));
           ( "exec_seconds",
             Float run.Database.exec.Sjos_exec.Executor.seconds );
@@ -184,11 +196,13 @@ let query_cmd =
     end
     else begin
       Fmt.pr
-        "%d matches in %.2f ms (optimization %.2f ms, %d plans considered)@."
+        "%d matches in %.2f ms (optimization %.2f ms, %d plans considered, \
+         fp %s)@."
         (Array.length tuples)
         (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
         (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
-        run.Database.opt.Sjos_core.Optimizer.plans_considered;
+        run.Database.opt.Sjos_core.Optimizer.plans_considered
+        (Sjos_pattern.Fingerprint.short (Database.prepared_fingerprint prep));
       Fmt.pr "execution: %a@." Sjos_exec.Metrics.pp
         run.Database.exec.Sjos_exec.Executor.metrics;
       let doc = Database.document db in
@@ -227,7 +241,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
-      $ trace_flag $ json_flag)
+      $ trace_flag $ json_flag $ no_cache_flag)
 
 (* ---------- explain ---------- *)
 
@@ -304,6 +318,71 @@ let analyze_cmd =
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
       $ trace_flag $ json_flag)
 
+(* ---------- repl ---------- *)
+
+let repl_cmd =
+  let run file algorithm no_cache xpath =
+    let db = Database.load_file file in
+    let opts = Query_opts.make ~algorithm ~use_cache:(not no_cache) () in
+    Fmt.pr "loaded %s: %d nodes, algorithm %s, plan cache %s@." file
+      (Sjos_xml.Document.size (Database.document db))
+      (Sjos_core.Optimizer.name algorithm)
+      (if no_cache then "off" else "on");
+    Fmt.pr "enter a pattern per line; :stats shows the cache, :quit exits@.";
+    let run_line line =
+      let parsed =
+        if xpath then Result.map fst (Sjos_pattern.Xpath.compile_opt line)
+        else Sjos_pattern.Parse.pattern_opt line
+      in
+      match parsed with
+      | Error msg -> Fmt.pr "error: %s@." msg
+      | Ok p -> (
+          match
+            let prep = Database.prepare ~opts db p in
+            (prep, Database.exec prep)
+          with
+          | prep, run ->
+              Fmt.pr "%d matches  opt %.3f ms (%s, fp %s)  exec %.3f ms@."
+                (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
+                (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
+                (if Database.prepared_from_cache prep then "cache hit"
+                 else "cache miss")
+                (Sjos_pattern.Fingerprint.short
+                   (Database.prepared_fingerprint prep))
+                (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
+          | exception Sjos_exec.Executor.Tuple_limit_exceeded n ->
+              Fmt.pr "error: intermediate result exceeded %d tuples@." n)
+    in
+    let rec loop () =
+      Fmt.pr "sjos> %!";
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | ":quit" | ":q" -> ()
+      | ":stats" ->
+          Fmt.pr "%a@." Sjos_cache.Plan_cache.pp (Database.plan_cache db);
+          loop ()
+      | "" -> loop ()
+      | line ->
+          run_line (String.trim line);
+          loop ()
+    in
+    loop ();
+    Fmt.pr "%a@." Sjos_cache.Plan_cache.pp (Database.plan_cache db)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document to query.")
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Interactive query loop over one document.  Repeated patterns (and \
+          structurally identical renumberings) hit the plan cache and skip \
+          optimization; :stats prints hit/miss counters.")
+    Term.(const run $ file $ algo_opt $ no_cache_flag $ xpath_flag)
+
 (* ---------- experiments ---------- *)
 
 let scale_opt =
@@ -369,6 +448,7 @@ let main =
       query_cmd;
       explain_cmd;
       analyze_cmd;
+      repl_cmd;
       table1_cmd;
       table2_cmd;
       table3_cmd;

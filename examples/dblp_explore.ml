@@ -27,7 +27,7 @@ let () =
       let provider = Database.provider db pattern in
       let full = (1 lsl Pattern.node_count pattern) - 1 in
       let estimated = provider.Sjos_plan.Costing.cluster_card full in
-      let run = Database.run_query db pattern in
+      let run = Database.run db pattern in
       let actual = Array.length run.exec.Sjos_exec.Executor.tuples in
       Fmt.pr "%-32s %-46s@." label text;
       Fmt.pr "    estimated %-10.0f actual %-10d plan %s@." estimated actual

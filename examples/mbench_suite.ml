@@ -38,10 +38,12 @@ let () =
       match Xpath.compile_opt xpath with
       | Error msg -> Fmt.pr "%-26s failed: %s@." label msg
       | Ok (pattern, _result) ->
-          let provider = Database.provider db pattern in
+          let prep = Database.prepare db pattern in
           let full = (1 lsl Pattern.node_count pattern) - 1 in
-          let est = provider.Sjos_plan.Costing.cluster_card full in
-          let run = Database.run_query db pattern in
+          let est =
+            (Database.provider db pattern).Sjos_plan.Costing.cluster_card full
+          in
+          let run = Database.exec prep in
           Fmt.pr "%-26s %8d %10.0f %12d %10.2f  %s@." label
             (Pattern.node_count pattern)
             est

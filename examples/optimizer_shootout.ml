@@ -21,7 +21,12 @@ let () =
         Database.of_document (Workload.generate ~size:8_000 q.Workload.dataset)
       in
       let cell algo =
-        let run = Database.run_query ~algorithm:algo db q.Workload.pattern in
+        (* use_cache:false — the whole point here is to measure the search *)
+        let run =
+          Database.run
+            ~opts:(Query_opts.make ~algorithm:algo ~use_cache:false ())
+            db q.Workload.pattern
+        in
         ( run.Database.exec.Sjos_exec.Executor.cost_units,
           run.Database.opt.Optimizer.plans_considered )
       in

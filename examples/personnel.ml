@@ -30,7 +30,12 @@ let () =
     "plans" "exec units" "exec time" "matches";
   List.iter
     (fun algo ->
-      let run = Database.run_query ~algorithm:algo db pattern in
+      (* cold options: a cache hit would report zero plans considered *)
+      let run =
+        Database.run
+          ~opts:(Query_opts.make ~algorithm:algo ~use_cache:false ())
+          db pattern
+      in
       Fmt.pr "%-12s %12.0f %10d %14.0f %10.2fms %10d@."
         (Optimizer.name algo) run.opt.Optimizer.est_cost
         run.opt.Optimizer.plans_considered
@@ -49,4 +54,7 @@ let () =
     (bad.Sjos_exec.Executor.seconds *. 1000.)
     (Array.length bad.Sjos_exec.Executor.tuples);
 
-  Fmt.pr "@.The DPP plan in detail:@.%s@." (Database.explain db pattern)
+  let prep = Database.prepare db pattern in
+  Fmt.pr "@.The DPP plan in detail (fingerprint %s):@.%s@."
+    (Sjos_pattern.Fingerprint.short (Database.prepared_fingerprint prep))
+    (Database.explain_prepared prep)

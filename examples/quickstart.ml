@@ -31,8 +31,12 @@ let () =
   in
   Fmt.pr "Query pattern: %s@." (Sjos_pattern.Pattern.to_string pattern);
 
-  (* 3. let the optimizer (DPP: optimal plan) choose the join order *)
-  let run = Database.run_query db pattern in
+  (* 3. prepare the query: canonicalize, fingerprint, and let the optimizer
+     (DPP: optimal plan) choose the join order.  The handle caches the
+     chosen plan, so re-executing skips optimization entirely. *)
+  let prep = Database.prepare db pattern in
+  Fmt.pr "Fingerprint:   %s@." (Database.prepared_fingerprint prep);
+  let run = Database.exec prep in
   Fmt.pr "@.Chosen plan (cost estimate %.1f, %d alternatives considered):@.%s"
     run.opt.Sjos_core.Optimizer.est_cost
     run.opt.Sjos_core.Optimizer.plans_considered
@@ -54,4 +58,13 @@ let () =
     run.exec.Sjos_exec.Executor.tuples;
 
   Fmt.pr "@.Execution metrics: %a@." Sjos_exec.Metrics.pp
-    run.exec.Sjos_exec.Executor.metrics
+    run.exec.Sjos_exec.Executor.metrics;
+
+  (* 5. run it again: the plan comes from the cache — zero search effort *)
+  let again = Database.run db pattern in
+  Fmt.pr
+    "@.Second run: %d matches, %d plans considered (plan served from the \
+     cache), %a@."
+    (Array.length again.exec.Sjos_exec.Executor.tuples)
+    again.opt.Sjos_core.Optimizer.plans_considered Sjos_cache.Plan_cache.pp
+    (Database.plan_cache db)

@@ -30,9 +30,12 @@ let () =
       let compiled, _ = Xquery.compile q in
       Fmt.pr "pattern: %s@."
         (Sjos_pattern.Pattern.to_string compiled.Xquery.pattern);
-      let opt = Database.optimize db compiled.Xquery.pattern in
+      let prep = Database.prepare db compiled.Xquery.pattern in
+      let opt = Database.prepared_result prep in
       Fmt.pr "plan:    %s@."
         (Sjos_plan.Explain.one_line compiled.Xquery.pattern
            opt.Sjos_core.Optimizer.plan);
+      (* Xquery.run compiles to the same pattern structure, so this hits
+         the plan cache populated by the prepare above *)
       Fmt.pr "result:  %s@.@." (Xquery.run_string db q))
     queries

@@ -1,0 +1,30 @@
+(** A size-bounded least-recently-used map with string keys.
+
+    O(1) find/add/remove via a hash table over an intrusive doubly-linked
+    recency list.  [find] and [add] both promote the entry to
+    most-recently-used; inserting into a full cache evicts the
+    least-recently-used entry and reports its key.  Not thread-safe. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val mem : 'a t -> string -> bool
+(** Presence test without promoting. *)
+
+val add : 'a t -> string -> 'a -> string option
+(** Insert or replace (either way the entry becomes most-recently-used).
+    Returns the key evicted to make room, if any. *)
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (string * 'a) list
+(** Entries from most- to least-recently-used. *)

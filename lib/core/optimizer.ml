@@ -66,14 +66,16 @@ let optimize ?factors ~provider algorithm pat =
   }
 
 let pp_result pat ppf r =
-  Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs@,%s@]"
+  Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs fp=%s@,%s@]"
     (name r.algorithm) r.est_cost r.plans_considered r.opt_seconds
+    (Fingerprint.short (Fingerprint.fingerprint pat))
     (Explain.to_string pat r.plan)
 
 let result_to_json pat r =
   Json.Obj
     [
       ("algorithm", Json.Str (name r.algorithm));
+      ("fingerprint", Json.Str (Fingerprint.fingerprint pat));
       ("est_cost", Json.Float r.est_cost);
       ("plans_considered", Json.Int r.plans_considered);
       ("statuses_generated", Json.Int r.statuses_generated);

@@ -2,57 +2,222 @@ open Sjos_xml
 open Sjos_storage
 open Sjos_histogram
 open Sjos_cost
+open Sjos_pattern
 open Sjos_plan
 open Sjos_core
 open Sjos_exec
+open Sjos_cache
+open Sjos_obs
 
 type t = {
   doc : Document.t;
   index : Element_index.t;
   stats : Stats.t Lazy.t;
-  factors : Cost_model.factors;
-  grid : int;
+  mutable factors : Cost_model.factors;
+  mutable grid : int;
+  plan_cache : Plan_cache.t;
 }
 
-let of_document ?(factors = Cost_model.default) ?(grid = 32) doc =
+let of_document ?(factors = Cost_model.default) ?(grid = 32)
+    ?(cache_capacity = 256) doc =
   {
     doc;
     index = Element_index.build doc;
     stats = lazy (Stats.compute doc);
     factors;
     grid;
+    plan_cache = Plan_cache.create ~capacity:cache_capacity ();
   }
 
-let of_string ?factors ?grid s = of_document ?factors ?grid (Parser.parse_string s)
-let load_file ?factors ?grid p = of_document ?factors ?grid (Parser.parse_file p)
+let of_string ?factors ?grid ?cache_capacity s =
+  of_document ?factors ?grid ?cache_capacity (Parser.parse_string s)
+
+let load_file ?factors ?grid ?cache_capacity p =
+  of_document ?factors ?grid ?cache_capacity (Parser.parse_file p)
+
 let document t = t.doc
 let index t = t.index
 let stats t = Lazy.force t.stats
 let factors t = t.factors
+let grid t = t.grid
+let plan_cache t = t.plan_cache
+let invalidate_plans t = Plan_cache.bump_epoch t.plan_cache
 
-let provider t pat =
-  let cards = Cardinality.create ~grid:t.grid t.index pat in
+let set_factors t factors =
+  t.factors <- factors;
+  invalidate_plans t
+
+let set_grid t grid =
+  t.grid <- grid;
+  invalidate_plans t
+
+let provider_with t ~grid pat =
+  let cards = Cardinality.create ~grid t.index pat in
   {
     Costing.node_card = Cardinality.node_card cards;
     cluster_card = Cardinality.cluster_card cards;
   }
 
-let optimize ?(algorithm = Optimizer.Dpp) t pat =
-  Optimizer.optimize ~factors:t.factors ~provider:(provider t pat) algorithm pat
+let provider t pat = provider_with t ~grid:t.grid pat
+
+let eff_factors t (opts : Query_opts.t) =
+  Option.value opts.Query_opts.factors ~default:t.factors
+
+let eff_grid t (opts : Query_opts.t) =
+  Option.value opts.Query_opts.grid ~default:t.grid
+
+(* A query is cacheable only when it runs against the database's own
+   statistics configuration: per-query factor/grid overrides would poison
+   entries keyed purely on algorithm + structure. *)
+let cache_key t (opts : Query_opts.t) ~fingerprint =
+  if
+    opts.Query_opts.use_cache
+    && Option.is_none opts.Query_opts.factors
+    && Option.is_none opts.Query_opts.grid
+  then begin
+    ignore t;
+    Some (Optimizer.name opts.Query_opts.algorithm ^ "|" ^ fingerprint)
+  end
+  else None
+
+(* Run the optimizer through the plan cache.  On a hit the stored plan —
+   serialized against the canonical numbering — is parsed and transported
+   back to the caller's numbering; the synthesized result reports zero
+   search effort and the (tiny) lookup time as [opt_seconds].  Returns the
+   result and whether it came from the cache. *)
+let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
+    ~provider =
+  let t0 = Clock.now_ns () in
+  let fresh ~store () =
+    let r =
+      Optimizer.optimize ~factors:(eff_factors t opts) ~provider
+        opts.Query_opts.algorithm pat
+    in
+    (match (store, key) with
+    | true, Some key ->
+        let cplan = Plan.map_nodes to_canon r.Optimizer.plan in
+        Plan_cache.add t.plan_cache key
+          {
+            Plan_cache.plan_text = Plan_io.to_string canon cplan;
+            est_cost = r.Optimizer.est_cost;
+            algorithm = Optimizer.name opts.Query_opts.algorithm;
+          }
+    | _ -> ());
+    (r, false)
+  in
+  match key with
+  | None -> fresh ~store:false ()
+  | Some k -> (
+      match Plan_cache.find t.plan_cache k with
+      | None -> fresh ~store:true ()
+      | Some entry -> (
+          match Plan_io.of_string canon entry.Plan_cache.plan_text with
+          | Error _ -> fresh ~store:true ()
+          | Ok cplan ->
+              let plan = Plan.map_nodes from_canon cplan in
+              ( {
+                  Optimizer.algorithm = opts.Query_opts.algorithm;
+                  plan;
+                  est_cost = entry.Plan_cache.est_cost;
+                  plans_considered = 0;
+                  statuses_generated = 0;
+                  statuses_expanded = 0;
+                  opt_seconds = Clock.elapsed_seconds ~since:t0;
+                  effort = Effort.create ();
+                },
+                true )))
+
+type prepared = {
+  pdb : t;
+  ppattern : Pattern.t;
+  popts : Query_opts.t;
+  pfingerprint : string;
+  pkey : string option;
+  pcanon : Pattern.t;
+  pto_canon : int -> int;
+  pfrom_canon : int -> int;
+  mutable pprovider : Costing.provider;
+  mutable presult : Optimizer.result;
+  mutable pcached : bool;
+  mutable pepoch : int;
+}
+
+let prepare ?(opts = Query_opts.default) t pat =
+  let canon, mapping = Fingerprint.canonical pat in
+  let inverse = Array.make (Array.length mapping) 0 in
+  Array.iteri (fun old nw -> inverse.(nw) <- old) mapping;
+  let to_canon i = mapping.(i) in
+  let from_canon i = inverse.(i) in
+  let fingerprint = Fingerprint.fingerprint pat in
+  let key = cache_key t opts ~fingerprint in
+  let provider = provider_with t ~grid:(eff_grid t opts) pat in
+  let result, cached =
+    resolve t ~opts ~pat ~canon ~from_canon ~to_canon ~key ~provider
+  in
+  {
+    pdb = t;
+    ppattern = pat;
+    popts = opts;
+    pfingerprint = fingerprint;
+    pkey = key;
+    pcanon = canon;
+    pto_canon = to_canon;
+    pfrom_canon = from_canon;
+    pprovider = provider;
+    presult = result;
+    pcached = cached;
+    pepoch = Plan_cache.epoch t.plan_cache;
+  }
+
+(* The handle survives configuration changes on its database: when the
+   cache epoch has moved since the last resolve, rebuild the cardinality
+   provider (the grid may have changed) and re-optimize. *)
+let refresh p =
+  let t = p.pdb in
+  let epoch = Plan_cache.epoch t.plan_cache in
+  if epoch <> p.pepoch then begin
+    p.pprovider <- provider_with t ~grid:(eff_grid t p.popts) p.ppattern;
+    let result, cached =
+      resolve t ~opts:p.popts ~pat:p.ppattern ~canon:p.pcanon
+        ~from_canon:p.pfrom_canon ~to_canon:p.pto_canon ~key:p.pkey
+        ~provider:p.pprovider
+    in
+    p.presult <- result;
+    p.pcached <- cached;
+    p.pepoch <- epoch
+  end
+
+let prepared_pattern p = p.ppattern
+let prepared_opts p = p.popts
+let prepared_fingerprint p = p.pfingerprint
+
+let prepared_result p =
+  refresh p;
+  p.presult
+
+let prepared_from_cache p = p.pcached
 
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
 let execute_plan ?max_tuples t pat plan =
   Executor.execute ~factors:t.factors ?max_tuples t.index pat plan
 
-let run_query ?algorithm ?max_tuples t pat =
-  let opt = optimize ?algorithm t pat in
-  let exec = execute_plan ?max_tuples t pat opt.Optimizer.plan in
-  { opt; exec }
+let exec p =
+  refresh p;
+  let t = p.pdb in
+  let exec =
+    Executor.execute
+      ~factors:(eff_factors t p.popts)
+      ?max_tuples:p.popts.Query_opts.max_tuples t.index p.ppattern
+      p.presult.Optimizer.plan
+  in
+  { opt = p.presult; exec }
 
-let explain ?algorithm t pat =
-  let opt = optimize ?algorithm t pat in
-  Explain.with_costs t.factors (provider t pat) pat opt.Optimizer.plan
+let explain_prepared p =
+  refresh p;
+  Explain.with_costs
+    (eff_factors p.pdb p.popts)
+    p.pprovider p.ppattern p.presult.Optimizer.plan
 
 type analysis = {
   opt : Optimizer.result;
@@ -60,10 +225,27 @@ type analysis = {
   rows : Explain.analysis_row list;
 }
 
-let analyze ?algorithm ?max_tuples t pat =
-  let opt = optimize ?algorithm t pat in
-  let exec = execute_plan ?max_tuples t pat opt.Optimizer.plan in
+let analyze_prepared p =
+  let r = exec p in
   let rows =
-    Explain.analyze t.factors (provider t pat) pat exec.Executor.profile
+    Explain.analyze
+      (eff_factors p.pdb p.popts)
+      p.pprovider p.ppattern r.exec.Executor.profile
   in
-  { opt; exec; rows }
+  { opt = r.opt; exec = r.exec; rows }
+
+let run ?opts t pat = exec (prepare ?opts t pat)
+
+let run_query ?algorithm ?max_tuples t pat =
+  run ~opts:(Query_opts.make ?algorithm ?max_tuples ()) t pat
+
+let optimize ?algorithm t pat =
+  let opts = Query_opts.make ?algorithm ~use_cache:false () in
+  (prepare ~opts t pat).presult
+
+let explain ?algorithm t pat =
+  explain_prepared (prepare ~opts:(Query_opts.make ?algorithm ()) t pat)
+
+let analyze ?algorithm ?max_tuples t pat =
+  analyze_prepared
+    (prepare ~opts:(Query_opts.make ?algorithm ?max_tuples ()) t pat)

@@ -2,12 +2,27 @@
     storage, statistics, optimization and execution — the role Timber plays
     in the paper.
 
+    The primary query interface is {e prepared queries}: {!prepare}
+    canonicalizes the pattern ({!Sjos_pattern.Fingerprint}), picks a plan —
+    consulting the database's LRU plan cache first, so repeated structures
+    skip the optimizer search entirely — and returns a handle off which
+    {!exec}, {!explain_prepared} and {!analyze_prepared} run.
+
     {[
       let db = Database.of_document doc in
-      let pattern = Sjos_pattern.Parse.pattern "manager(//employee(/name))" in
-      let run = Database.run_query db pattern in
-      Fmt.pr "%d matches@." (Array.length run.exec.tuples)
-    ]} *)
+      let pat = Sjos_pattern.Parse.pattern "manager(//employee(/name))" in
+      let p = Database.prepare db pat in
+      let run = Database.exec p in          (* cold: optimizer searched *)
+      let run' = Database.exec p in         (* warm: plan reused *)
+      Fmt.pr "%d matches (fingerprint %s)@."
+        (Array.length run'.exec.tuples)
+        (Database.prepared_fingerprint p)
+    ]}
+
+    Per-query knobs travel in a {!Query_opts.t}.  The [?algorithm] /
+    [?max_tuples] entry points further down are retained for source
+    compatibility but are {b deprecated}: they are thin wrappers over
+    [prepare] and will be removed in a future release. *)
 
 open Sjos_xml
 open Sjos_storage
@@ -18,45 +33,76 @@ open Sjos_exec
 type t
 
 val of_document :
-  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> Document.t -> t
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?grid:int ->
+  ?cache_capacity:int ->
+  Document.t ->
+  t
 (** Index a document and prepare it for querying.  [grid] is the
-    positional-histogram resolution (default 32). *)
+    positional-histogram resolution (default 32); [cache_capacity] bounds
+    the plan cache (default 256 entries). *)
 
 val of_string :
-  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> string -> t
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?grid:int ->
+  ?cache_capacity:int ->
+  string ->
+  t
 (** Parse XML text and index it. *)
 
 val load_file :
-  ?factors:Sjos_cost.Cost_model.factors -> ?grid:int -> string -> t
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?grid:int ->
+  ?cache_capacity:int ->
+  string ->
+  t
 
 val document : t -> Document.t
 val index : t -> Element_index.t
 val stats : t -> Stats.t
 val factors : t -> Sjos_cost.Cost_model.factors
+val grid : t -> int
+
+val set_factors : t -> Sjos_cost.Cost_model.factors -> unit
+(** Change the database's cost factors.  Bumps the plan-cache epoch: every
+    cached plan was chosen under the old statistics and is invalidated. *)
+
+val set_grid : t -> int -> unit
+(** Change the histogram grid resolution.  Also bumps the epoch. *)
+
+val invalidate_plans : t -> unit
+(** Bump the plan-cache epoch without changing configuration (e.g. tests,
+    or after external document mutation). *)
+
+val plan_cache : t -> Sjos_cache.Plan_cache.t
+(** The database's plan cache, for stats inspection. *)
 
 val provider : t -> Pattern.t -> Sjos_plan.Costing.provider
 (** Histogram-backed cardinality provider for a pattern (memoized per
     pattern structure for the lifetime of the call result). *)
 
-val optimize : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> Optimizer.result
-(** Pick a plan; default algorithm is [Dpp] (the paper's recommendation
-    when execution time matters). *)
+(** {1 Prepared queries} *)
+
+type prepared
+(** A pattern bound to a database with its options, fingerprint, memoized
+    cardinality provider and chosen plan.  Re-executing a prepared query
+    costs no optimizer search; if the database's configuration changes
+    after preparation, the handle transparently re-optimizes on next use. *)
+
+val prepare : ?opts:Query_opts.t -> t -> Pattern.t -> prepared
+(** Canonicalize, fingerprint and optimize (through the plan cache when
+    [opts.use_cache], the default).  [opts] defaults to
+    {!Query_opts.default}. *)
 
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
-val run_query :
-  ?algorithm:Optimizer.algorithm ->
-  ?max_tuples:int ->
-  t ->
-  Pattern.t ->
-  query_run
-(** Optimize then execute. *)
+val exec : prepared -> query_run
+(** Execute the prepared plan.  [opt] is the resolution that produced the
+    plan: a cache hit reports zero search effort and only the lookup time
+    as [opt_seconds]. *)
 
-val execute_plan :
-  ?max_tuples:int -> t -> Pattern.t -> Sjos_plan.Plan.t -> Executor.run
-
-val explain : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> string
-(** The chosen plan, rendered with estimated cardinalities and costs. *)
+val explain_prepared : prepared -> string
+(** The prepared plan, rendered with estimated cardinalities and costs. *)
 
 type analysis = {
   opt : Optimizer.result;
@@ -65,9 +111,53 @@ type analysis = {
       (** one row per plan operator, pre-order *)
 }
 
-val analyze :
-  ?algorithm:Optimizer.algorithm -> ?max_tuples:int -> t -> Pattern.t -> analysis
-(** EXPLAIN ANALYZE: optimize, execute, and compare the optimizer's
+val analyze_prepared : prepared -> analysis
+(** EXPLAIN ANALYZE off the handle: execute and compare the optimizer's
     estimates against measured per-operator cardinalities, cost units and
     wall time.  Render with {!Sjos_plan.Explain.analyze_to_string} or
     {!Sjos_plan.Explain.analysis_to_json}. *)
+
+val prepared_result : prepared -> Optimizer.result
+val prepared_pattern : prepared -> Pattern.t
+val prepared_opts : prepared -> Query_opts.t
+
+val prepared_fingerprint : prepared -> string
+(** Structural fingerprint of the pattern — the cache-key component. *)
+
+val prepared_from_cache : prepared -> bool
+(** Did the most recent plan resolution hit the cache? *)
+
+val run : ?opts:Query_opts.t -> t -> Pattern.t -> query_run
+(** [prepare] + [exec] in one call — the normal one-shot entry point. *)
+
+val execute_plan :
+  ?max_tuples:int -> t -> Pattern.t -> Sjos_plan.Plan.t -> Executor.run
+(** Execute an externally supplied plan ("plan hints"); bypasses the
+    optimizer and the cache. *)
+
+(** {1 Deprecated one-shot wrappers}
+
+    Thin veneers over {!prepare} kept for one release so existing callers
+    keep compiling; prefer {!run} / {!prepare} with a {!Query_opts.t}. *)
+
+val optimize : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> Optimizer.result
+(** Pick a plan with a {e fresh} search — never consults the plan cache, so
+    effort counters are always the true search cost (Table 2 relies on
+    this).  Default algorithm is [Dpp].  {b Deprecated}: use
+    [prepare ~opts:(Query_opts.make ~use_cache:false ())]. *)
+
+val run_query :
+  ?algorithm:Optimizer.algorithm ->
+  ?max_tuples:int ->
+  t ->
+  Pattern.t ->
+  query_run
+(** Optimize (through the cache) then execute.  {b Deprecated}: use
+    {!run}. *)
+
+val explain : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> string
+(** {b Deprecated}: use {!prepare} + {!explain_prepared}. *)
+
+val analyze :
+  ?algorithm:Optimizer.algorithm -> ?max_tuples:int -> t -> Pattern.t -> analysis
+(** {b Deprecated}: use {!prepare} + {!analyze_prepared}. *)

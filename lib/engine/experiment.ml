@@ -12,16 +12,17 @@ type cell = {
   est_cost : float;
 }
 
-let run_cell ?max_tuples db pat algorithm =
-  let opt = Database.optimize ~algorithm db pat in
-  match Database.execute_plan ?max_tuples db pat opt.Optimizer.plan with
-  | exec ->
+let run_cell ?(opts = Query_opts.default) db pat =
+  let p = Database.prepare ~opts db pat in
+  let opt = Database.prepared_result p in
+  match Database.exec p with
+  | run ->
       {
         opt_seconds = opt.Optimizer.opt_seconds;
         plans_considered = opt.Optimizer.plans_considered;
-        eval_units = exec.Executor.cost_units;
-        eval_seconds = exec.Executor.seconds;
-        matches = Array.length exec.Executor.tuples;
+        eval_units = run.Database.exec.Executor.cost_units;
+        eval_seconds = run.Database.exec.Executor.seconds;
+        matches = Array.length run.Database.exec.Executor.tuples;
         est_cost = opt.Optimizer.est_cost;
       }
   | exception Executor.Tuple_limit_exceeded _ ->
@@ -36,6 +37,11 @@ let run_cell ?max_tuples db pat algorithm =
         matches = -1;
         est_cost = opt.Optimizer.est_cost;
       }
+
+(* The table harnesses measure search effort, so they always run cold:
+   a cache hit would report zero plans considered. *)
+let cold_opts ?max_tuples algorithm =
+  Query_opts.make ~algorithm ?max_tuples ~use_cache:false ()
 
 let bad_plan_cell ?(seed = 42) ?(samples = 20) ?max_tuples db pat =
   let provider = Database.provider db pat in
@@ -95,7 +101,7 @@ let table1 ?sizes ?max_tuples () =
       let pat = query.Workload.pattern in
       let cells =
         List.map
-          (fun algo -> (algo, run_cell ?max_tuples db pat algo))
+          (fun algo -> (algo, run_cell ~opts:(cold_opts ?max_tuples algo) db pat))
           (Optimizer.all pat)
       in
       let bad = bad_plan_cell ?max_tuples db pat in
@@ -225,7 +231,7 @@ let table3 ?(base_size = 2_000) ?(folds = [ 1; 10; 100; 500 ])
           per_fold =
             List.map
               (fun (f, db) ->
-                let c = run_cell ~max_tuples db pat algo in
+                let c = run_cell ~opts:(cold_opts ~max_tuples algo) db pat in
                 (f, c.eval_units, c.eval_seconds))
               dbs;
         })
@@ -274,7 +280,7 @@ let figure_te ?(base_size = 2_000) ?(fold = 1) ?(query = Workload.q_pers_3_d)
   let pat = query.Workload.pattern in
   let n = Pattern.node_count pat in
   let point setting algo =
-    let c = run_cell db pat algo in
+    let c = run_cell ~opts:(cold_opts algo) db pat in
     { setting; opt_units_s = c.opt_seconds; eval_units_s = c.eval_seconds }
   in
   List.init n (fun i ->

@@ -20,11 +20,16 @@ type cell = {
   est_cost : float;  (** the optimizer's estimate for the chosen plan *)
 }
 
-val run_cell :
-  ?max_tuples:int -> Database.t -> Pattern.t -> Optimizer.algorithm -> cell
-(** Optimize with one algorithm and execute the chosen plan.  If execution
-    would exceed [max_tuples], [eval_units] falls back to the cost-model
-    estimate, [eval_seconds] is [nan] and [matches] is [-1]. *)
+val run_cell : ?opts:Query_opts.t -> Database.t -> Pattern.t -> cell
+(** Optimize (per [opts], default {!Query_opts.default}) and execute the
+    chosen plan.  If execution would exceed [opts.max_tuples],
+    [eval_units] falls back to the cost-model estimate, [eval_seconds] is
+    [nan] and [matches] is [-1]. *)
+
+val cold_opts : ?max_tuples:int -> Optimizer.algorithm -> Query_opts.t
+(** Options for a cold measurement cell: the given algorithm with plan
+    caching off, so [plans_considered]/[opt_seconds] always reflect a real
+    search.  All table/figure harnesses below use this. *)
 
 val bad_plan_cell :
   ?seed:int -> ?samples:int -> ?max_tuples:int -> Database.t -> Pattern.t -> cell

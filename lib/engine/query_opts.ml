@@ -1,0 +1,49 @@
+open Sjos_core
+open Sjos_obs
+
+type t = {
+  algorithm : Optimizer.algorithm;
+  max_tuples : int option;
+  use_cache : bool;
+  factors : Sjos_cost.Cost_model.factors option;
+  grid : int option;
+}
+
+let default =
+  {
+    algorithm = Optimizer.Dpp;
+    max_tuples = None;
+    use_cache = true;
+    factors = None;
+    grid = None;
+  }
+
+let make ?(algorithm = Optimizer.Dpp) ?max_tuples ?(use_cache = true) ?factors
+    ?grid () =
+  { algorithm; max_tuples; use_cache; factors; grid }
+
+let with_algorithm t algorithm = { t with algorithm }
+let with_max_tuples t max_tuples = { t with max_tuples }
+let with_use_cache t use_cache = { t with use_cache }
+let with_factors t factors = { t with factors }
+let with_grid t grid = { t with grid }
+let cold t = { t with use_cache = false }
+
+let to_json t =
+  Json.Obj
+    [
+      ("algorithm", Json.Str (Optimizer.name t.algorithm));
+      ( "max_tuples",
+        match t.max_tuples with Some n -> Json.Int n | None -> Json.Null );
+      ("use_cache", Json.Bool t.use_cache);
+      ("custom_factors", Json.Bool (Option.is_some t.factors));
+      ("grid", match t.grid with Some g -> Json.Int g | None -> Json.Null);
+    ]
+
+let pp ppf t =
+  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s}"
+    (Optimizer.name t.algorithm)
+    Fmt.(option ~none:(any "none") int)
+    t.max_tuples t.use_cache
+    (if Option.is_some t.factors then "; custom factors" else "")
+    (match t.grid with Some g -> Printf.sprintf "; grid=%d" g | None -> "")

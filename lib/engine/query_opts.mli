@@ -1,0 +1,44 @@
+(** Per-query knobs, consolidated.
+
+    Earlier revisions scattered [?algorithm], [?max_tuples], [?factors] and
+    [?grid] across [Database], [Experiment], [Workload] and [Xquery] entry
+    points; this record is the single carrier.  Build one with {!make} (or
+    start from {!default}) and pass it to [Database.prepare] / [run],
+    [Experiment.run_cell], [Workload.run] or [Xquery.run]. *)
+
+type t = {
+  algorithm : Sjos_core.Optimizer.algorithm;
+      (** plan-selection algorithm; default [Dpp] *)
+  max_tuples : int option;
+      (** abort execution past this many intermediate tuples *)
+  use_cache : bool;  (** consult/populate the database's plan cache *)
+  factors : Sjos_cost.Cost_model.factors option;
+      (** override the database's cost factors for this query (disables
+          plan caching, which is keyed on the database's own factors) *)
+  grid : int option;
+      (** override the database's histogram grid (also disables caching) *)
+}
+
+val default : t
+(** [Dpp], no tuple limit, caching on, database-level factors and grid. *)
+
+val make :
+  ?algorithm:Sjos_core.Optimizer.algorithm ->
+  ?max_tuples:int ->
+  ?use_cache:bool ->
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?grid:int ->
+  unit ->
+  t
+
+val with_algorithm : t -> Sjos_core.Optimizer.algorithm -> t
+val with_max_tuples : t -> int option -> t
+val with_use_cache : t -> bool -> t
+val with_factors : t -> Sjos_cost.Cost_model.factors option -> t
+val with_grid : t -> int option -> t
+
+val cold : t -> t
+(** The same options with caching off — always a fresh optimizer search. *)
+
+val to_json : t -> Sjos_obs.Json.t
+val pp : t Fmt.t

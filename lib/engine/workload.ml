@@ -42,3 +42,5 @@ let queries =
 
 let find id = List.find (fun query -> String.equal query.id id) queries
 let q_pers_3_d = find "Q.Pers.3.d"
+
+let run ?opts db query = Database.run ?opts db query.pattern

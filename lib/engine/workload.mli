@@ -33,3 +33,8 @@ val find : string -> query
 
 val q_pers_3_d : query
 (** The query used by Tables 2-3 and Figures 7-8. *)
+
+val run : ?opts:Query_opts.t -> Database.t -> query -> Database.query_run
+(** Prepare and execute a workload query ([opts] defaults to
+    {!Query_opts.default}); repeated runs of the same query structure hit
+    the database's plan cache. *)

@@ -355,9 +355,9 @@ let compile src =
   check_item compiled.bindings q.return;
   (compiled, fun doc tuple builder -> constructor q compiled doc tuple builder)
 
-let run ?algorithm db src =
+let run ?opts db src =
   let compiled, construct = compile src in
-  let result = Database.run_query ?algorithm db compiled.pattern in
+  let result = Database.run ?opts db compiled.pattern in
   let doc = Database.document db in
   let b = Builder.create () in
   Builder.open_element b "results";
@@ -367,5 +367,4 @@ let run ?algorithm db src =
   Builder.close_element b;
   Builder.finish b
 
-let run_string ?algorithm db src =
-  Serializer.to_string (run ?algorithm db src)
+let run_string ?opts db src = Serializer.to_string (run ?opts db src)

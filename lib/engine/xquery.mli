@@ -50,10 +50,9 @@ val compile : string -> compiled * (Document.t -> Sjos_exec.Tuple.t -> Builder.t
 (** Parse and compile; returns the pattern plus the per-match constructor.
     Raises {!Error} on unsupported input. *)
 
-val run :
-  ?algorithm:Sjos_core.Optimizer.algorithm -> Database.t -> string -> Document.t
-(** Compile, optimize (default DPP), execute, construct results. *)
+val run : ?opts:Query_opts.t -> Database.t -> string -> Document.t
+(** Compile, prepare (default {!Query_opts.default}: DPP through the plan
+    cache), execute, construct results. *)
 
-val run_string :
-  ?algorithm:Sjos_core.Optimizer.algorithm -> Database.t -> string -> string
+val run_string : ?opts:Query_opts.t -> Database.t -> string -> string
 (** {!run} rendered as XML text. *)

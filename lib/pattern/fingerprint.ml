@@ -1,0 +1,73 @@
+open Sjos_xml
+open Sjos_storage
+
+(* Length-prefix every label so that no concatenation of labels, axes and
+   separators can collide with a differently-shaped pattern. *)
+let enc s = string_of_int (String.length s) ^ ":" ^ s
+
+let node_code pat =
+  let rec code i =
+    let mark = if Pattern.order_by pat = Some i then "!" else "" in
+    let label = enc (Candidate.spec_to_string (Pattern.label pat i)) in
+    let kids =
+      Pattern.children_of pat i
+      |> List.map (fun (j, (e : Pattern.edge)) ->
+             Axes.axis_to_string e.Pattern.axis ^ code j)
+      |> List.sort String.compare
+    in
+    mark ^ label ^ "(" ^ String.concat "," kids ^ ")"
+  in
+  code
+
+let structure pat = node_code pat 0
+
+let minimize_map pat minimize =
+  if minimize then Minimize.minimize pat
+  else (pat, Array.init (Pattern.node_count pat) Fun.id)
+
+let canonical ?(minimize = false) pat =
+  let pat0, pre = minimize_map pat minimize in
+  let n = Pattern.node_count pat0 in
+  let code = node_code pat0 in
+  (* memoize per node: code is recomputed along every root path otherwise *)
+  let codes = Array.init n code in
+  let to_new = Array.make n (-1) in
+  let next = ref 0 in
+  let rec assign i =
+    to_new.(i) <- !next;
+    incr next;
+    Pattern.children_of pat0 i
+    |> List.map (fun (j, (e : Pattern.edge)) ->
+           (Axes.axis_to_string e.Pattern.axis ^ codes.(j), j))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (_, j) -> assign j)
+  in
+  assign 0;
+  let from_new = Array.make n 0 in
+  Array.iteri (fun old nw -> from_new.(nw) <- old) to_new;
+  let labels = Array.init n (fun nw -> Pattern.label pat0 from_new.(nw)) in
+  let edges =
+    Pattern.edges pat0
+    |> List.map (fun (e : Pattern.edge) ->
+           (to_new.(e.Pattern.anc), e.Pattern.axis, to_new.(e.Pattern.desc)))
+    |> List.sort compare |> Array.of_list
+  in
+  let order_by =
+    Option.map (fun o -> to_new.(o)) (Pattern.order_by pat0)
+  in
+  let canon = Pattern.create ?order_by ~labels ~edges () in
+  let mapping =
+    Array.map (fun v -> if v < 0 then -1 else to_new.(v)) pre
+  in
+  (canon, mapping)
+
+let fingerprint ?(minimize = false) pat =
+  let pat0, _ = minimize_map pat minimize in
+  let payload =
+    string_of_int (Pattern.node_count pat0) ^ "#" ^ structure pat0
+  in
+  Digest.to_hex (Digest.string payload)
+
+let short fp = if String.length fp <= 12 then fp else String.sub fp 0 12
+
+let structurally_equal a b = String.equal (fingerprint a) (fingerprint b)

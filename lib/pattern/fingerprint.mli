@@ -1,0 +1,43 @@
+(** Canonical forms and structural fingerprints for pattern trees.
+
+    Two patterns that denote the same query — same multiset of labelled
+    nodes, same axes, same tree shape, same (marked) order-by node — can
+    still be numbered differently by callers: node indexes are an artifact
+    of construction order, and siblings may be listed in any order.  This
+    module quotients that away:
+
+    - {!canonical} renumbers a pattern into a deterministic normal form
+      (children visited in sorted structural order, preorder indexes), and
+      returns the node mapping so plans chosen for the canonical pattern
+      can be transported back to the original numbering;
+    - {!fingerprint} is a stable content hash of that normal form, usable
+      as a cache key across pattern instances, sessions and processes.
+
+    The fingerprint covers labels (tag, attribute and text predicates),
+    edge axes, tree shape and the order-by node; it is invariant under node
+    renumbering and sibling reordering, and changes whenever any of those
+    ingredients changes.  With [~minimize:true] both operations first apply
+    tree-pattern minimization ({!Minimize.minimize}), fingerprinting the
+    redundancy-free core instead — note that minimization changes the match
+    tuple width, so plan caches keyed on minimized fingerprints must also
+    evaluate the minimized pattern. *)
+
+val canonical : ?minimize:bool -> Pattern.t -> Pattern.t * int array
+(** [canonical pat] — the canonical renumbering of [pat] and the mapping
+    from [pat]'s node indexes to canonical indexes.  With [~minimize:true]
+    the pattern is minimized first and dropped nodes map to [-1] (default
+    [false]). *)
+
+val fingerprint : ?minimize:bool -> Pattern.t -> string
+(** Hex digest of the canonical structure.  Equal for any two patterns
+    with the same canonical form. *)
+
+val structure : Pattern.t -> string
+(** The un-hashed canonical structure string (labels length-prefixed,
+    children sorted), for debugging and tests. *)
+
+val short : string -> string
+(** First 12 hex characters of a fingerprint, for display. *)
+
+val structurally_equal : Pattern.t -> Pattern.t -> bool
+(** [fingerprint a = fingerprint b]. *)

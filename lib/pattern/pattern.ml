@@ -18,9 +18,14 @@ let labels t = Array.copy t.labels
 let edges t = t.edge_list
 let order_by t = t.order_by
 
+(* Bijective base-26: A..Z, AA..AZ, BA.. — never collides with a node whose
+   label is literally "N27", unlike the old "N%d" fallback. *)
 let name _t i =
-  if i < 26 then String.make 1 (Char.chr (Char.code 'A' + i))
-  else Printf.sprintf "N%d" i
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'A' + (i mod 26))) ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
 
 let create ?order_by ~labels ~edges () =
   let n = Array.length labels in

@@ -43,7 +43,8 @@ val order_by : t -> int option
 val with_order_by : t -> int option -> t
 
 val name : t -> int -> string
-(** Display name of a pattern node: ["A"], ["B"], ... in index order. *)
+(** Display name of a pattern node in index order: ["A"], ["B"], ... ["Z"],
+    then ["AA"], ["AB"], ... (bijective base-26, always distinct). *)
 
 val edge_between : t -> int -> int -> edge option
 (** The unique edge joining two nodes, in either direction. *)

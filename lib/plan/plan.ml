@@ -55,4 +55,21 @@ let rec fold f acc t =
       fold f (fold f acc anc_side) desc_side
   | Sort { input; _ } -> fold f acc input
 
+let rec map_nodes f = function
+  | Index_scan i -> Index_scan (f i)
+  | Structural_join { anc_side; desc_side; edge; algo } ->
+      Structural_join
+        {
+          anc_side = map_nodes f anc_side;
+          desc_side = map_nodes f desc_side;
+          edge =
+            {
+              Pattern.anc = f edge.Pattern.anc;
+              desc = f edge.Pattern.desc;
+              axis = edge.Pattern.axis;
+            };
+          algo;
+        }
+  | Sort { input; by } -> Sort { input = map_nodes f input; by = f by }
+
 let equal = ( = )

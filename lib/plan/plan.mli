@@ -40,4 +40,9 @@ val sort_count : t -> int
 val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
 (** Pre-order fold over all operators. *)
 
+val map_nodes : (int -> int) -> t -> t
+(** Renumber every pattern-node reference (scan indexes, join-edge
+    endpoints, sort keys) through the given mapping.  Used to transport a
+    plan between a pattern and its canonical renumbering. *)
+
 val equal : t -> t -> bool

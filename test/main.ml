@@ -12,6 +12,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("datagen", Test_datagen.suite);
       ("engine", Test_engine.suite);
+      ("cache", Test_cache.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);

@@ -99,7 +99,7 @@ let test_workload_queries_have_matches () =
 let test_experiment_cells () =
   let db = Database.of_document (Lazy.force Helpers.pers_1k) in
   let p = Helpers.pat "manager(//employee(/name))" in
-  let cell = Experiment.run_cell db p Optimizer.Dpp in
+  let cell = Experiment.run_cell ~opts:(Experiment.cold_opts Optimizer.Dpp) db p in
   check cb "opt time" true (cell.Experiment.opt_seconds >= 0.0);
   check cb "eval units" true (cell.Experiment.eval_units > 0.0);
   check cb "matches" true (cell.Experiment.matches > 0);

@@ -310,7 +310,7 @@ let test_xquery_optimized_consistently () =
      return <x></x>"
   in
   let count algorithm =
-    let doc = Xquery.run ~algorithm db q in
+    let doc = Xquery.run ~opts:(Query_opts.make ~algorithm ()) db q in
     List.length (Document.children doc (Document.root doc))
   in
   let dp = count Optimizer.Dp in
