@@ -296,6 +296,7 @@ let ablation_mpmgjn () =
           ~axis:Sjos_xml.Axes.Descendant ~algo:Sjos_plan.Plan.Stack_tree_desc
           ~anc:(scan m1 0 "manager", 0)
           ~desc:(scan m1 1 "name", 1)
+          ()
       in
       let m2 = Sjos_exec.Metrics.create () in
       ignore
@@ -560,6 +561,161 @@ let bench_cache () =
      tuples identical: %s\n"
     (if dpp_ok && !tuples_identical then "PASS" else "FAIL")
 
+(* ------------------------------------------------------------------ *)
+(* Resource governance: what does degrading an over-budget exact search
+   to DPAP-EB cost in plan quality, and does the engine keep its
+   ok-or-structured-error contract under seeded fault injection?        *)
+
+let bench_guard () =
+  section "Guard: budgeted degradation and seeded chaos sweep";
+  let open Sjos_guard in
+  let db =
+    Database.of_document (Workload.generate ~size:(scaled 5_000) Workload.Pers)
+  in
+  let sorted_tuples (run : Database.query_run) =
+    List.sort compare
+      (List.map Array.to_list
+         (Array.to_list run.Database.exec.Sjos_exec.Executor.tuples))
+  in
+  (* 1. Baseline exact search vs budget-forced DPAP-EB degradation. *)
+  let pat = Workload.q_pers_3_d.Workload.pattern in
+  let baseline = Database.run ~opts:(Query_opts.cold Query_opts.default) db pat in
+  let degraded =
+    match
+      Database.run_r
+        ~opts:
+          (Query_opts.make ~use_cache:false
+             ~budget:(Budget.make ~max_expanded:1 ())
+             ())
+        db pat
+    with
+    | Ok r -> r
+    | Result.Error e -> failwith ("degraded run failed: " ^ Error.message e)
+  in
+  let cell label (run : Database.query_run) =
+    Printf.printf "%-22s opt=%8.3fms plans=%5d eval=%10.1fkU matches=%d%s\n"
+      label
+      (run.Database.opt.Optimizer.opt_seconds *. 1000.)
+      run.Database.opt.Optimizer.plans_considered
+      (run.Database.exec.Sjos_exec.Executor.cost_units /. 1000.)
+      (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
+      (match run.Database.opt.Optimizer.degraded_from with
+      | Some a -> Printf.sprintf " (degraded from %s)" (Optimizer.name a)
+      | None -> "");
+    Sjos_obs.Json.Obj
+      [
+        ("label", Sjos_obs.Json.Str label);
+        ("opt_seconds", Sjos_obs.Json.Float run.Database.opt.Optimizer.opt_seconds);
+        ( "plans_considered",
+          Sjos_obs.Json.Int run.Database.opt.Optimizer.plans_considered );
+        ( "eval_units",
+          Sjos_obs.Json.Float run.Database.exec.Sjos_exec.Executor.cost_units );
+        ( "matches",
+          Sjos_obs.Json.Int
+            (Array.length run.Database.exec.Sjos_exec.Executor.tuples) );
+        ( "degraded_from",
+          match run.Database.opt.Optimizer.degraded_from with
+          | Some a -> Sjos_obs.Json.Str (Optimizer.name a)
+          | None -> Sjos_obs.Json.Null );
+      ]
+  in
+  let base_cell = cell "DPP (unbudgeted)" baseline in
+  let degr_cell = cell "DPP, max_expanded=1" degraded in
+  let quality =
+    degraded.Database.exec.Sjos_exec.Executor.cost_units
+    /. Float.max baseline.Database.exec.Sjos_exec.Executor.cost_units 1e-9
+  in
+  let same_matches = sorted_tuples baseline = sorted_tuples degraded in
+  Printf.printf "degraded plan cost ratio: %.2fx; matches identical: %b\n"
+    quality same_matches;
+  (* 2. Chaos sweep: every run is Ok or a structured Error — nothing
+     escapes as a raw exception.  Lies-only runs must also preserve the
+     result set. *)
+  let patterns =
+    List.map Sjos_pattern.Parse.pattern
+      [
+        "manager(//name)";
+        "manager(//employee(/name))";
+        "manager(//employee,//department)";
+        "manager(//employee(/name),//department(/name))";
+      ]
+  in
+  let seeds = List.init (if fast then 10 else 25) (fun i -> 1000 + i) in
+  let ok = ref 0 and structured = ref 0 and escaped = ref 0 in
+  let lies_divergent = ref 0 in
+  let error_classes = Hashtbl.create 8 in
+  let sweep ~faults ~check_matches =
+    List.iter
+      (fun p ->
+        let truth =
+          lazy (sorted_tuples (Database.run ~opts:(Query_opts.cold Query_opts.default) db p))
+        in
+        List.iter
+          (fun seed ->
+            let opts =
+              Query_opts.make ~use_cache:false
+                ~chaos:(Chaos.create ~faults ~seed ())
+                ()
+            in
+            match Database.run_r ~opts db p with
+            | Ok run ->
+                incr ok;
+                if check_matches && sorted_tuples run <> Lazy.force truth then
+                  incr lies_divergent
+            | Result.Error e ->
+                incr structured;
+                let c = Error.class_name e in
+                Hashtbl.replace error_classes c
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt error_classes c))
+            | exception _ -> incr escaped)
+          seeds)
+      patterns
+  in
+  sweep
+    ~faults:
+      Chaos.[ Truncate_candidates; Unsort_candidates; Lie_cardinalities ]
+    ~check_matches:false;
+  sweep ~faults:[ Chaos.Lie_cardinalities ] ~check_matches:true;
+  let total = !ok + !structured + !escaped in
+  Printf.printf
+    "chaos sweep: %d runs, %d ok, %d structured errors, %d escaped \
+     exceptions, %d lies-only divergences\n"
+    total !ok !structured !escaped !lies_divergent;
+  Hashtbl.iter
+    (fun c n -> Printf.printf "  error class %-16s %d\n" c n)
+    error_classes;
+  let payload =
+    Sjos_obs.Json.Obj
+      [
+        ("baseline", base_cell);
+        ("degraded", degr_cell);
+        ("degraded_cost_ratio", Sjos_obs.Json.Float quality);
+        ("degraded_matches_identical", Sjos_obs.Json.Bool same_matches);
+        ( "chaos",
+          Sjos_obs.Json.Obj
+            [
+              ("runs", Sjos_obs.Json.Int total);
+              ("ok", Sjos_obs.Json.Int !ok);
+              ("structured_errors", Sjos_obs.Json.Int !structured);
+              ("escaped_exceptions", Sjos_obs.Json.Int !escaped);
+              ("lies_only_divergences", Sjos_obs.Json.Int !lies_divergent);
+              ( "error_classes",
+                Sjos_obs.Json.Obj
+                  (Hashtbl.fold
+                     (fun c n acc -> (c, Sjos_obs.Json.Int n) :: acc)
+                     error_classes []) );
+            ] );
+      ]
+  in
+  let bench_json = "BENCH_GUARD.json" in
+  Sjos_obs.Report.write_file bench_json payload;
+  Printf.printf "wrote %s\n" bench_json;
+  Printf.printf
+    "shape check: degraded run returns the same matches, zero escaped \
+     exceptions, lies never change results: %s\n"
+    (if same_matches && !escaped = 0 && !lies_divergent = 0 then "PASS"
+     else "FAIL")
+
 let () =
   Printf.printf "sjos benchmark harness (scale=%.2f%s)\n" scale
     (if fast then ", fast mode" else "");
@@ -577,5 +733,6 @@ let () =
   extension_time_to_first ();
   extension_calibration ();
   bench_cache ();
+  bench_guard ();
   if not fast then micro ();
   print_newline ()

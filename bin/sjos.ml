@@ -89,6 +89,32 @@ let with_obs ~trace f =
   if trace then Sjos_obs.Report.disable_all ();
   (r, report)
 
+(* ---------- error boundary ----------
+
+   Every failure class exits with its own code (see
+   [Sjos_guard.Error.exit_code]) and a one-line message on stderr —
+   no backtraces for user errors. *)
+
+let die e =
+  Fmt.epr "sjos: %s: %s@."
+    (Sjos_guard.Error.class_name e)
+    (Sjos_guard.Error.message e);
+  exit (Sjos_guard.Error.exit_code e)
+
+let guarded f =
+  try f () with
+  | Sjos_guard.Error.Error e -> die e
+  | Sjos_guard.Budget.Exhausted { resource; during } ->
+      die (Sjos_guard.Error.Budget_exhausted { resource; during })
+  | Sjos_xml.Parser.Parse_error { line; col; message } ->
+      die
+        (Sjos_guard.Error.Parse_error
+           {
+             input = "xml";
+             message = Printf.sprintf "line %d, col %d: %s" line col message;
+           })
+  | Invalid_argument msg -> die (Sjos_guard.Error.Invalid_request msg)
+
 let parse_pattern ~xpath s =
   let result =
     if xpath then Result.map fst (Sjos_pattern.Xpath.compile_opt s)
@@ -97,8 +123,41 @@ let parse_pattern ~xpath s =
   match result with
   | Ok p -> p
   | Error msg ->
-      Fmt.epr "%s@." msg;
-      exit 2
+      Sjos_guard.Error.fail
+        (Sjos_guard.Error.Parse_error { input = s; message = msg })
+
+(* ---------- budget flags ---------- *)
+
+let deadline_opt =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Give the query MS milliseconds of wall-clock budget.  An exact \
+           optimizer search that exceeds it degrades to DPAP-EB; execution \
+           past the deadline aborts with exit code 5.")
+
+let max_expanded_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-expanded" ] ~docv:"N"
+        ~doc:
+          "Budget the optimizer search to at most N status expansions \
+           (exact searches degrade to DPAP-EB when the ceiling fires).")
+
+let budget_of deadline_ms max_expanded =
+  Sjos_guard.Budget.make ?deadline_ms ?max_expanded ()
+
+let warn_degraded (opt : Sjos_core.Optimizer.result) =
+  match opt.Sjos_core.Optimizer.degraded_from with
+  | Some a ->
+      Fmt.epr "sjos: note: optimizer budget exhausted during %s; plan from \
+               %s fallback@."
+        (Sjos_core.Optimizer.name a)
+        (Sjos_core.Optimizer.name opt.Sjos_core.Optimizer.algorithm)
+  | None -> ()
 
 (* ---------- gen ---------- *)
 
@@ -136,6 +195,7 @@ let gen_cmd =
 
 let stats_cmd =
   let run file =
+    guarded @@ fun () ->
     let db = Database.load_file file in
     Fmt.pr "%a@." Sjos_storage.Stats.pp (Database.stats db);
     Fmt.pr "@.top tags:@.";
@@ -157,18 +217,32 @@ let no_cache_flag =
     & info [ "no-cache" ]
         ~doc:"Bypass the plan cache: always run a fresh optimizer search.")
 
+let grid_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "grid" ] ~docv:"G"
+        ~doc:
+          "Per-query positional-histogram grid override (1-4096; out of \
+           range is rejected with exit code 3).")
+
 let query_cmd =
-  let run pattern file algorithm limit show xpath trace json no_cache =
+  let run pattern file algorithm limit show xpath trace json no_cache
+      deadline_ms max_expanded grid =
+    guarded @@ fun () ->
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
     let opts =
-      Query_opts.make ~algorithm ?max_tuples:limit ~use_cache:(not no_cache) ()
+      Query_opts.make ~algorithm ?max_tuples:limit ~use_cache:(not no_cache)
+        ~budget:(budget_of deadline_ms max_expanded)
+        ?grid ()
     in
     let (prep, run), report =
       with_obs ~trace (fun () ->
           let prep = Database.prepare ~opts db p in
           (prep, Database.exec prep))
     in
+    warn_degraded run.Database.opt;
     let tuples = run.Database.exec.Sjos_exec.Executor.tuples in
     if json then begin
       let open Sjos_obs.Json in
@@ -241,12 +315,14 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
-      $ trace_flag $ json_flag $ no_cache_flag)
+      $ trace_flag $ json_flag $ no_cache_flag $ deadline_opt
+      $ max_expanded_opt $ grid_opt)
 
 (* ---------- explain ---------- *)
 
 let explain_cmd =
   let run pattern file algorithm xpath =
+    guarded @@ fun () ->
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
     Fmt.pr "%s@." (Database.explain ~algorithm db p)
@@ -258,13 +334,21 @@ let explain_cmd =
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run pattern file algorithm limit xpath trace json =
+  let run pattern file algorithm limit xpath trace json deadline_ms
+      max_expanded =
+    guarded @@ fun () ->
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
+    let opts =
+      Query_opts.make ~algorithm ?max_tuples:limit
+        ~budget:(budget_of deadline_ms max_expanded)
+        ()
+    in
     let a, report =
       with_obs ~trace (fun () ->
-          Database.analyze ~algorithm ?max_tuples:limit db p)
+          Database.analyze_prepared (Database.prepare ~opts db p))
     in
+    warn_degraded a.Database.opt;
     let exec = a.Database.exec in
     if json then begin
       let open Sjos_obs.Json in
@@ -316,14 +400,20 @@ let analyze_cmd =
           time")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
-      $ trace_flag $ json_flag)
+      $ trace_flag $ json_flag $ deadline_opt $ max_expanded_opt)
 
 (* ---------- repl ---------- *)
 
 let repl_cmd =
-  let run file algorithm no_cache xpath =
+  let run file algorithm no_cache xpath deadline_ms max_expanded =
+    guarded @@ fun () ->
     let db = Database.load_file file in
-    let opts = Query_opts.make ~algorithm ~use_cache:(not no_cache) () in
+    (* the deadline is re-armed per query line, not for the whole session *)
+    let opts_for () =
+      Query_opts.make ~algorithm ~use_cache:(not no_cache)
+        ~budget:(budget_of deadline_ms max_expanded)
+        ()
+    in
     Fmt.pr "loaded %s: %d nodes, algorithm %s, plan cache %s@." file
       (Sjos_xml.Document.size (Database.document db))
       (Sjos_core.Optimizer.name algorithm)
@@ -338,10 +428,12 @@ let repl_cmd =
       | Error msg -> Fmt.pr "error: %s@." msg
       | Ok p -> (
           match
-            let prep = Database.prepare ~opts db p in
-            (prep, Database.exec prep)
+            Sjos_guard.Error.protect (fun () ->
+                let prep = Database.prepare ~opts:(opts_for ()) db p in
+                (prep, Database.exec prep))
           with
-          | prep, run ->
+          | Ok (prep, run) ->
+              warn_degraded run.Database.opt;
               Fmt.pr "%d matches  opt %.3f ms (%s, fp %s)  exec %.3f ms@."
                 (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
                 (run.Database.opt.Sjos_core.Optimizer.opt_seconds *. 1000.)
@@ -350,8 +442,10 @@ let repl_cmd =
                 (Sjos_pattern.Fingerprint.short
                    (Database.prepared_fingerprint prep))
                 (run.Database.exec.Sjos_exec.Executor.seconds *. 1000.)
-          | exception Sjos_exec.Executor.Tuple_limit_exceeded n ->
-              Fmt.pr "error: intermediate result exceeded %d tuples@." n)
+          | Error e ->
+              Fmt.pr "error (%s): %s@."
+                (Sjos_guard.Error.class_name e)
+                (Sjos_guard.Error.message e))
     in
     let rec loop () =
       Fmt.pr "sjos> %!";
@@ -381,7 +475,9 @@ let repl_cmd =
          "Interactive query loop over one document.  Repeated patterns (and \
           structurally identical renumberings) hit the plan cache and skip \
           optimization; :stats prints hit/miss counters.")
-    Term.(const run $ file $ algo_opt $ no_cache_flag $ xpath_flag)
+    Term.(
+      const run $ file $ algo_opt $ no_cache_flag $ xpath_flag $ deadline_opt
+      $ max_expanded_opt)
 
 (* ---------- experiments ---------- *)
 

@@ -38,6 +38,9 @@ let best ctx =
             }
           else begin
             let candidate order =
+              (* the permutation scan is FP's inner loop; poll the
+                 deadline/cancellation budget here *)
+              Search.check_budget ctx;
               let acc =
                 ref
                   {

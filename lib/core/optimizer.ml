@@ -30,10 +30,11 @@ type result = {
   statuses_expanded : int;
   opt_seconds : float;
   effort : Effort.t;
+  degraded_from : algorithm option;
 }
 
-let optimize ?factors ~provider algorithm pat =
-  let ctx = Search.make_ctx ?factors ~provider pat in
+let optimize ?factors ?budget ~provider algorithm pat =
+  let ctx = Search.make_ctx ?factors ?budget ~provider pat in
   let span =
     Trace.begin_span "optimize" ~attrs:[ ("algorithm", Json.Str (name algorithm)) ]
   in
@@ -63,12 +64,50 @@ let optimize ?factors ~provider algorithm pat =
     statuses_expanded = eff.Effort.expanded;
     opt_seconds;
     effort = eff;
+    degraded_from = None;
   }
 
+let is_exact = function
+  | Dp | Dpp | Dpp_no_lookahead -> true
+  | Dpap_eb _ | Dpap_ld | Fp -> false
+
+(* Anytime degradation: when the budget fires during an *exact* search,
+   retry under DPAP-EB with a small Te.  The fallback tier's work is
+   bounded by construction (at most Te expansions per level), so it runs
+   outside the exhausted budget — the whole point is to always come back
+   with *some* plan, mirroring how a bounded heuristic is the robust
+   fallback to the holistic search. *)
+let fallback_te pat = max 1 (min 4 (default_te pat))
+
+let optimize_r ?factors ?(budget = Sjos_guard.Budget.unlimited) ~provider
+    algorithm pat =
+  match optimize ?factors ~budget ~provider algorithm pat with
+  | r -> Ok r
+  | exception Sjos_guard.Budget.Exhausted { resource; during } ->
+      if is_exact algorithm then begin
+        if Registry.enabled () then
+          Registry.incr (Registry.counter "guard.degraded");
+        Trace.event "optimizer.degraded"
+          ~attrs:
+            [
+              ("from", Json.Str (name algorithm));
+              ("resource", Json.Str (Sjos_guard.Budget.resource_name resource));
+            ];
+        match optimize ?factors ~provider (Dpap_eb (fallback_te pat)) pat with
+        | r -> Ok { r with degraded_from = Some algorithm }
+        | exception Sjos_guard.Budget.Exhausted { resource; during } ->
+            Error
+              (Sjos_guard.Error.Budget_exhausted { resource; during })
+      end
+      else Error (Sjos_guard.Error.Budget_exhausted { resource; during })
+
 let pp_result pat ppf r =
-  Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs fp=%s@,%s@]"
+  Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs fp=%s%s@,%s@]"
     (name r.algorithm) r.est_cost r.plans_considered r.opt_seconds
     (Fingerprint.short (Fingerprint.fingerprint pat))
+    (match r.degraded_from with
+    | Some a -> Printf.sprintf " (degraded from %s)" (name a)
+    | None -> "")
     (Explain.to_string pat r.plan)
 
 let result_to_json pat r =
@@ -82,5 +121,9 @@ let result_to_json pat r =
       ("statuses_expanded", Json.Int r.statuses_expanded);
       ("opt_seconds", Json.Float r.opt_seconds);
       ("effort", Effort.to_json r.effort);
+      ( "degraded_from",
+        match r.degraded_from with
+        | Some a -> Json.Str (name a)
+        | None -> Json.Null );
       ("plan", Json.Str (Explain.one_line pat r.plan));
     ]

@@ -30,16 +30,37 @@ type result = {
   opt_seconds : float;
       (** monotonic wall-clock time spent optimizing (never negative) *)
   effort : Effort.t;  (** the full search-effort breakdown *)
+  degraded_from : algorithm option;
+      (** [Some a] when the budget fired during exact algorithm [a] and
+          the plan came from the DPAP-EB fallback tier instead *)
 }
 
 val optimize :
   ?factors:Sjos_cost.Cost_model.factors ->
+  ?budget:Sjos_guard.Budget.t ->
   provider:Costing.provider ->
   algorithm ->
   Pattern.t ->
   result
 (** Run one algorithm over a pattern.  The returned plan is always valid
-    for the pattern ({!Sjos_plan.Properties.validate}). *)
+    for the pattern ({!Sjos_plan.Properties.validate}).  Raises
+    {!Sjos_guard.Budget.Exhausted} when [budget] fires — prefer
+    {!optimize_r}, which degrades gracefully. *)
+
+val optimize_r :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?budget:Sjos_guard.Budget.t ->
+  provider:Costing.provider ->
+  algorithm ->
+  Pattern.t ->
+  (result, Sjos_guard.Error.t) Stdlib.result
+(** Like {!optimize}, but budget exhaustion becomes a value.  When the
+    budget fires during an {e exact} search (DP, DPP, DPP′) the query
+    degrades to DPAP-EB with a capped [Te] — bounded work by
+    construction — and the result carries [degraded_from]; the
+    [guard.degraded] registry counter and an [optimizer.degraded] trace
+    event record the fallback.  Exhaustion in an already-heuristic tier
+    returns [Error (Budget_exhausted _)]. *)
 
 val pp_result : Pattern.t -> result Fmt.t
 

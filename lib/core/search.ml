@@ -1,6 +1,7 @@
 open Sjos_pattern
 open Sjos_cost
 open Sjos_plan
+open Sjos_guard
 
 type ctx = {
   pat : Pattern.t;
@@ -8,16 +9,23 @@ type ctx = {
   provider : Costing.provider;
   edges : Pattern.edge array;
   effort : Effort.t;
+  budget : Budget.t;
 }
 
-let make_ctx ?(factors = Cost_model.default) ~provider pat =
+let make_ctx ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
+    ~provider pat =
   {
     pat;
     factors;
     provider;
     edges = Array.of_list (Pattern.edges pat);
     effort = Effort.create ();
+    budget;
   }
+
+let check_budget ctx =
+  Budget.check_search ctx.budget ~during:"optimize"
+    ~expanded:ctx.effort.Effort.expanded
 
 let remaining_edges ctx (s : Status.t) =
   let acc = ref [] in
@@ -66,6 +74,10 @@ let merge_clusters (s : Status.t) (cu : Status.cluster) (cv : Status.cluster)
 
 let expand ?(left_deep = false) ?(lookahead = false) ?(cost_bound = infinity)
     ctx (s : Status.t) =
+  (* Budget check before the counter moves: an aborted search has done
+     exactly the budgeted number of expansions, and an unlimited budget is
+     a single physical-equality test — search order is never perturbed. *)
+  check_budget ctx;
   let eff = ctx.effort in
   eff.Effort.expanded <- eff.Effort.expanded + 1;
   let successors = ref [] in

@@ -18,13 +18,23 @@ type ctx = {
   provider : Costing.provider;
   edges : Pattern.edge array;
   effort : Effort.t;  (** search-effort counters, always on *)
+  budget : Sjos_guard.Budget.t;
+      (** resource ceilings for this search; checked before every
+          expansion and never perturbing search order *)
 }
 
 val make_ctx :
   ?factors:Sjos_cost.Cost_model.factors ->
+  ?budget:Sjos_guard.Budget.t ->
   provider:Costing.provider ->
   Pattern.t ->
   ctx
+
+val check_budget : ctx -> unit
+(** Poll the context's budget against its effort counters; raises
+    {!Sjos_guard.Budget.Exhausted} when a ceiling fired.  Called by
+    {!expand}; algorithms with their own inner loops (FP's permutation
+    scan) call it directly. *)
 
 val remaining_edges : ctx -> Status.t -> (int * Pattern.edge) list
 (** Indexed pattern edges not yet evaluated by the status. *)

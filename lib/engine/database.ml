@@ -8,6 +8,7 @@ open Sjos_core
 open Sjos_exec
 open Sjos_cache
 open Sjos_obs
+open Sjos_guard
 
 type t = {
   doc : Document.t;
@@ -18,8 +19,19 @@ type t = {
   plan_cache : Plan_cache.t;
 }
 
+(* A grid of g costs O(g^2) cells per histogram: an absurd request is an
+   out-of-range knob (Invalid_request), not an allocation failure later. *)
+let max_grid = 4096
+
+let validate_grid grid =
+  if grid < 1 || grid > max_grid then
+    Error.fail
+      (Error.Invalid_request
+         (Printf.sprintf "histogram grid %d out of range 1..%d" grid max_grid))
+
 let of_document ?(factors = Cost_model.default) ?(grid = 32)
     ?(cache_capacity = 256) doc =
+  validate_grid grid;
   {
     doc;
     index = Element_index.build doc;
@@ -48,10 +60,12 @@ let set_factors t factors =
   invalidate_plans t
 
 let set_grid t grid =
+  validate_grid grid;
   t.grid <- grid;
   invalidate_plans t
 
 let provider_with t ~grid pat =
+  validate_grid grid;
   let cards = Cardinality.create ~grid t.index pat in
   {
     Costing.node_card = Cardinality.node_card cards;
@@ -68,12 +82,15 @@ let eff_grid t (opts : Query_opts.t) =
 
 (* A query is cacheable only when it runs against the database's own
    statistics configuration: per-query factor/grid overrides would poison
-   entries keyed purely on algorithm + structure. *)
+   entries keyed purely on algorithm + structure.  Chaos runs are never
+   cached either way — a plan chosen under lying statistics must not leak
+   into healthy queries. *)
 let cache_key t (opts : Query_opts.t) ~fingerprint =
   if
     opts.Query_opts.use_cache
     && Option.is_none opts.Query_opts.factors
     && Option.is_none opts.Query_opts.grid
+    && Option.is_none opts.Query_opts.chaos
   then begin
     ignore t;
     Some (Optimizer.name opts.Query_opts.algorithm ^ "|" ^ fingerprint)
@@ -84,26 +101,41 @@ let cache_key t (opts : Query_opts.t) ~fingerprint =
    serialized against the canonical numbering — is parsed and transported
    back to the caller's numbering; the synthesized result reports zero
    search effort and the (tiny) lookup time as [opt_seconds].  Returns the
-   result and whether it came from the cache. *)
+   result and whether it came from the cache.
+
+   Budget exhaustion goes through {!Optimizer.optimize_r}, so an exact
+   search degrades to DPAP-EB instead of failing; a degraded plan is never
+   stored (the budget, not the statistics, chose it).  A cached entry that
+   fails to deserialize or no longer evaluates the pattern is treated as
+   corruption: counted, overwritten by a fresh optimization, never served. *)
 let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
     ~provider =
   let t0 = Clock.now_ns () in
   let fresh ~store () =
-    let r =
-      Optimizer.optimize ~factors:(eff_factors t opts) ~provider
-        opts.Query_opts.algorithm pat
-    in
-    (match (store, key) with
-    | true, Some key ->
-        let cplan = Plan.map_nodes to_canon r.Optimizer.plan in
-        Plan_cache.add t.plan_cache key
-          {
-            Plan_cache.plan_text = Plan_io.to_string canon cplan;
-            est_cost = r.Optimizer.est_cost;
-            algorithm = Optimizer.name opts.Query_opts.algorithm;
-          }
-    | _ -> ());
-    (r, false)
+    match
+      Optimizer.optimize_r ~factors:(eff_factors t opts)
+        ~budget:opts.Query_opts.budget ~provider opts.Query_opts.algorithm pat
+    with
+    | Error e -> Error.fail e
+    | Ok r ->
+        (match (store, key) with
+        | true, Some key when r.Optimizer.degraded_from = None ->
+            let cplan = Plan.map_nodes to_canon r.Optimizer.plan in
+            Plan_cache.add t.plan_cache key
+              {
+                Plan_cache.plan_text = Plan_io.to_string canon cplan;
+                est_cost = r.Optimizer.est_cost;
+                algorithm = Optimizer.name opts.Query_opts.algorithm;
+              }
+        | _ -> ());
+        (r, false)
+  in
+  let corrupt k reason =
+    if Registry.enabled () then
+      Registry.incr (Registry.counter "guard.corrupt_cache");
+    Trace.event "plan_cache.corrupt"
+      ~attrs:[ ("key", Json.Str k); ("reason", Json.Str reason) ];
+    fresh ~store:true ()
   in
   match key with
   | None -> fresh ~store:false ()
@@ -112,20 +144,24 @@ let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
       | None -> fresh ~store:true ()
       | Some entry -> (
           match Plan_io.of_string canon entry.Plan_cache.plan_text with
-          | Error _ -> fresh ~store:true ()
-          | Ok cplan ->
+          | Error msg -> corrupt k msg
+          | Ok cplan -> (
               let plan = Plan.map_nodes from_canon cplan in
-              ( {
-                  Optimizer.algorithm = opts.Query_opts.algorithm;
-                  plan;
-                  est_cost = entry.Plan_cache.est_cost;
-                  plans_considered = 0;
-                  statuses_generated = 0;
-                  statuses_expanded = 0;
-                  opt_seconds = Clock.elapsed_seconds ~since:t0;
-                  effort = Effort.create ();
-                },
-                true )))
+              match Properties.validate pat plan with
+              | Error msg -> corrupt k msg
+              | Ok () ->
+                  ( {
+                      Optimizer.algorithm = opts.Query_opts.algorithm;
+                      plan;
+                      est_cost = entry.Plan_cache.est_cost;
+                      plans_considered = 0;
+                      statuses_generated = 0;
+                      statuses_expanded = 0;
+                      opt_seconds = Clock.elapsed_seconds ~since:t0;
+                      effort = Effort.create ();
+                      degraded_from = None;
+                    },
+                    true ))))
 
 type prepared = {
   pdb : t;
@@ -142,6 +178,20 @@ type prepared = {
   mutable pepoch : int;
 }
 
+(* Fault injection hooks in at the two trust boundaries: the cardinality
+   provider (lies) and the candidate streams (truncation / disorder). *)
+let opts_provider t (opts : Query_opts.t) pat =
+  let p = provider_with t ~grid:(eff_grid t opts) pat in
+  match opts.Query_opts.chaos with
+  | Some c -> Chaos.wrap_provider c p
+  | None -> p
+
+let opts_fetch t (opts : Query_opts.t) =
+  match opts.Query_opts.chaos with
+  | Some c ->
+      Some (fun spec -> Chaos.wrap_candidates c (Candidate.select t.index spec))
+  | None -> None
+
 let prepare ?(opts = Query_opts.default) t pat =
   let canon, mapping = Fingerprint.canonical pat in
   let inverse = Array.make (Array.length mapping) 0 in
@@ -150,7 +200,7 @@ let prepare ?(opts = Query_opts.default) t pat =
   let from_canon i = inverse.(i) in
   let fingerprint = Fingerprint.fingerprint pat in
   let key = cache_key t opts ~fingerprint in
-  let provider = provider_with t ~grid:(eff_grid t opts) pat in
+  let provider = opts_provider t opts pat in
   let result, cached =
     resolve t ~opts ~pat ~canon ~from_canon ~to_canon ~key ~provider
   in
@@ -176,7 +226,7 @@ let refresh p =
   let t = p.pdb in
   let epoch = Plan_cache.epoch t.plan_cache in
   if epoch <> p.pepoch then begin
-    p.pprovider <- provider_with t ~grid:(eff_grid t p.popts) p.ppattern;
+    p.pprovider <- opts_provider t p.popts p.ppattern;
     let result, cached =
       resolve t ~opts:p.popts ~pat:p.ppattern ~canon:p.pcanon
         ~from_canon:p.pfrom_canon ~to_canon:p.pto_canon ~key:p.pkey
@@ -199,8 +249,8 @@ let prepared_from_cache p = p.pcached
 
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
-let execute_plan ?max_tuples t pat plan =
-  Executor.execute ~factors:t.factors ?max_tuples t.index pat plan
+let execute_plan ?budget ?max_tuples t pat plan =
+  Executor.execute ~factors:t.factors ?budget ?max_tuples t.index pat plan
 
 let exec p =
   refresh p;
@@ -208,7 +258,9 @@ let exec p =
   let exec =
     Executor.execute
       ~factors:(eff_factors t p.popts)
-      ?max_tuples:p.popts.Query_opts.max_tuples t.index p.ppattern
+      ~budget:p.popts.Query_opts.budget
+      ?max_tuples:p.popts.Query_opts.max_tuples
+      ?fetch:(opts_fetch t p.popts) t.index p.ppattern
       p.presult.Optimizer.plan
   in
   { opt = p.presult; exec }
@@ -235,6 +287,14 @@ let analyze_prepared p =
   { opt = r.opt; exec = r.exec; rows }
 
 let run ?opts t pat = exec (prepare ?opts t pat)
+
+(* Result-returning surface: same pipeline, failures as values.  Anything
+   the pipeline raises that is not already structured is an engine bug and
+   comes back as [Internal]. *)
+let prepare_r ?opts t pat = Error.protect (fun () -> prepare ?opts t pat)
+let exec_r p = Error.protect (fun () -> exec p)
+let run_r ?opts t pat = Error.protect (fun () -> run ?opts t pat)
+let analyze_prepared_r p = Error.protect (fun () -> analyze_prepared p)
 
 let run_query ?algorithm ?max_tuples t pat =
   run ~opts:(Query_opts.make ?algorithm ?max_tuples ()) t pat

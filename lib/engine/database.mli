@@ -131,9 +131,45 @@ val run : ?opts:Query_opts.t -> t -> Pattern.t -> query_run
 (** [prepare] + [exec] in one call — the normal one-shot entry point. *)
 
 val execute_plan :
-  ?max_tuples:int -> t -> Pattern.t -> Sjos_plan.Plan.t -> Executor.run
+  ?budget:Sjos_guard.Budget.t ->
+  ?max_tuples:int ->
+  t ->
+  Pattern.t ->
+  Sjos_plan.Plan.t ->
+  Executor.run
 (** Execute an externally supplied plan ("plan hints"); bypasses the
     optimizer and the cache. *)
+
+(** {1 Result-returning surface}
+
+    The same pipeline with every failure mode as a value: parse/knob
+    problems, invalid plans, budget exhaustion that no degradation tier
+    absorbed, corruption detected at a trust boundary — all come back as
+    a {!Sjos_guard.Error.t} instead of an exception.  The raising
+    functions above are thin wrappers retained for compatibility; these
+    are the entry points services should use. *)
+
+val prepare_r :
+  ?opts:Query_opts.t ->
+  t ->
+  Pattern.t ->
+  (prepared, Sjos_guard.Error.t) result
+
+val exec_r : prepared -> (query_run, Sjos_guard.Error.t) result
+(** Budget exhaustion during execution preserves the partial tuple count
+    in [Budget_exhausted { resource = Tuples_materialized _; _ }]. *)
+
+val run_r :
+  ?opts:Query_opts.t ->
+  t ->
+  Pattern.t ->
+  (query_run, Sjos_guard.Error.t) result
+(** [prepare_r] + [exec_r] in one call.  With a budget in [opts], an
+    exact optimizer search that blows its budget transparently degrades
+    to DPAP-EB (see {!Sjos_core.Optimizer.optimize_r}); check
+    [(run.opt).degraded_from] to detect it. *)
+
+val analyze_prepared_r : prepared -> (analysis, Sjos_guard.Error.t) result
 
 (** {1 Deprecated one-shot wrappers}
 

@@ -25,7 +25,9 @@ let run_cell ?(opts = Query_opts.default) db pat =
         matches = Array.length run.Database.exec.Executor.tuples;
         est_cost = opt.Optimizer.est_cost;
       }
-  | exception Executor.Tuple_limit_exceeded _ ->
+  | exception
+      Sjos_guard.Budget.Exhausted
+        { resource = Sjos_guard.Budget.Tuples_materialized _; _ } ->
       (* the chosen plan materializes too much to run safely (only heuristic
          algorithms ever get here); report the cost-model estimate, as the
          paper does for its ">4000 s" entries *)
@@ -60,7 +62,9 @@ let bad_plan_cell ?(seed = 42) ?(samples = 20) ?max_tuples db pat =
         matches = Array.length exec.Executor.tuples;
         est_cost;
       }
-  | exception Executor.Tuple_limit_exceeded _ ->
+  | exception
+      Sjos_guard.Budget.Exhausted
+        { resource = Sjos_guard.Budget.Tuples_materialized _; _ } ->
       (* too expensive to run safely: report the cost-model estimate *)
       {
         opt_seconds;

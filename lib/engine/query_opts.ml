@@ -1,4 +1,5 @@
 open Sjos_core
+open Sjos_guard
 open Sjos_obs
 
 type t = {
@@ -7,6 +8,8 @@ type t = {
   use_cache : bool;
   factors : Sjos_cost.Cost_model.factors option;
   grid : int option;
+  budget : Budget.t;
+  chaos : Chaos.t option;
 }
 
 let default =
@@ -16,17 +19,21 @@ let default =
     use_cache = true;
     factors = None;
     grid = None;
+    budget = Budget.unlimited;
+    chaos = None;
   }
 
 let make ?(algorithm = Optimizer.Dpp) ?max_tuples ?(use_cache = true) ?factors
-    ?grid () =
-  { algorithm; max_tuples; use_cache; factors; grid }
+    ?grid ?(budget = Budget.unlimited) ?chaos () =
+  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos }
 
 let with_algorithm t algorithm = { t with algorithm }
 let with_max_tuples t max_tuples = { t with max_tuples }
 let with_use_cache t use_cache = { t with use_cache }
 let with_factors t factors = { t with factors }
 let with_grid t grid = { t with grid }
+let with_budget t budget = { t with budget }
+let with_chaos t chaos = { t with chaos }
 let cold t = { t with use_cache = false }
 
 let to_json t =
@@ -38,12 +45,22 @@ let to_json t =
       ("use_cache", Json.Bool t.use_cache);
       ("custom_factors", Json.Bool (Option.is_some t.factors));
       ("grid", match t.grid with Some g -> Json.Int g | None -> Json.Null);
+      ( "budget",
+        if Budget.is_unlimited t.budget then Json.Null
+        else Budget.to_json t.budget );
+      ( "chaos",
+        match t.chaos with Some c -> Chaos.to_json c | None -> Json.Null );
     ]
 
 let pp ppf t =
-  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s}"
+  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s}"
     (Optimizer.name t.algorithm)
     Fmt.(option ~none:(any "none") int)
     t.max_tuples t.use_cache
     (if Option.is_some t.factors then "; custom factors" else "")
     (match t.grid with Some g -> Printf.sprintf "; grid=%d" g | None -> "")
+    (if Budget.is_unlimited t.budget then ""
+     else Fmt.str "; budget=%a" Budget.pp t.budget)
+    (match t.chaos with
+    | Some c -> Fmt.str "; %a" Chaos.pp c
+    | None -> "")

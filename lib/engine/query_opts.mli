@@ -17,10 +17,17 @@ type t = {
           plan caching, which is keyed on the database's own factors) *)
   grid : int option;
       (** override the database's histogram grid (also disables caching) *)
+  budget : Sjos_guard.Budget.t;
+      (** resource ceilings enforced across optimization and execution;
+          default {!Sjos_guard.Budget.unlimited}, which costs nothing *)
+  chaos : Sjos_guard.Chaos.t option;
+      (** seeded fault injection into candidate streams and cardinality
+          estimates — testing only; disables plan caching *)
 }
 
 val default : t
-(** [Dpp], no tuple limit, caching on, database-level factors and grid. *)
+(** [Dpp], no tuple limit, caching on, database-level factors and grid,
+    unlimited budget, no fault injection. *)
 
 val make :
   ?algorithm:Sjos_core.Optimizer.algorithm ->
@@ -28,6 +35,8 @@ val make :
   ?use_cache:bool ->
   ?factors:Sjos_cost.Cost_model.factors ->
   ?grid:int ->
+  ?budget:Sjos_guard.Budget.t ->
+  ?chaos:Sjos_guard.Chaos.t ->
   unit ->
   t
 
@@ -36,6 +45,8 @@ val with_max_tuples : t -> int option -> t
 val with_use_cache : t -> bool -> t
 val with_factors : t -> Sjos_cost.Cost_model.factors option -> t
 val with_grid : t -> int option -> t
+val with_budget : t -> Sjos_guard.Budget.t -> t
+val with_chaos : t -> Sjos_guard.Chaos.t option -> t
 
 val cold : t -> t
 (** The same options with caching off — always a fresh optimizer search. *)

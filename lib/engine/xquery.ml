@@ -368,3 +368,14 @@ let run ?opts db src =
   Builder.finish b
 
 let run_string ?opts db src = Serializer.to_string (run ?opts db src)
+
+(* The compiler's own failures and the XML/pattern parser's are all parse
+   errors from the caller's point of view; anything else unstructured that
+   escapes evaluation is an engine bug. *)
+let run_r ?opts db src =
+  Sjos_guard.Error.protect
+    ~map:(function
+      | Error msg ->
+          Some (Sjos_guard.Error.Parse_error { input = src; message = msg })
+      | _ -> None)
+    (fun () -> run ?opts db src)

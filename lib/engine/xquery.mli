@@ -56,3 +56,13 @@ val run : ?opts:Query_opts.t -> Database.t -> string -> Document.t
 
 val run_string : ?opts:Query_opts.t -> Database.t -> string -> string
 (** {!run} rendered as XML text. *)
+
+val run_r :
+  ?opts:Query_opts.t ->
+  Database.t ->
+  string ->
+  (Document.t, Sjos_guard.Error.t) result
+(** {!run} with failures as values: {!Error} becomes
+    [Parse_error { input = src; _ }], budget exhaustion that survives
+    degradation becomes [Budget_exhausted], anything else unstructured
+    becomes [Internal]. *)

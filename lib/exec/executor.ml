@@ -3,8 +3,7 @@ open Sjos_pattern
 open Sjos_cost
 open Sjos_plan
 open Sjos_obs
-
-exception Tuple_limit_exceeded of int
+open Sjos_guard
 
 type run = {
   tuples : Tuple.t array;
@@ -19,46 +18,80 @@ let op_span_name = function
   | Plan.Sort _ -> "exec.sort"
   | Plan.Structural_join _ -> "exec.join"
 
-let execute ?(factors = Cost_model.default) ?max_tuples index pat plan =
+(* Candidate arrays from our own element index are sorted by construction;
+   an externally supplied fetch (plan hints, fault injection, a remote
+   storage tier) is a trust boundary and gets verified — the joins silently
+   produce garbage on unsorted input otherwise. *)
+let verify_document_order ~what candidates =
+  let n = Array.length candidates in
+  for i = 1 to n - 1 do
+    if
+      candidates.(i).Sjos_xml.Node.start_pos
+      < candidates.(i - 1).Sjos_xml.Node.start_pos
+    then
+      Error.fail
+        (Error.Corrupt_input
+           {
+             source = what;
+             reason =
+               Printf.sprintf
+                 "candidate stream not in document order at position %d" i;
+           })
+  done;
+  candidates
+
+let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
+    ?max_tuples ?fetch index pat plan =
   (match Properties.validate pat plan with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Executor.execute: invalid plan: " ^ msg));
+  | Error msg -> Error.fail (Error.Invalid_plan msg));
+  let budget = Budget.cap_tuples budget max_tuples in
   let doc = Element_index.document index in
   let width = Pattern.node_count pat in
   let metrics = Metrics.create () in
-  let check_limit (tuples : Tuple.t array) =
-    match max_tuples with
-    | Some limit when Array.length tuples > limit ->
-        raise (Tuple_limit_exceeded (Array.length tuples))
-    | _ -> tuples
+  let candidates_for i =
+    let spec = Pattern.label pat i in
+    match fetch with
+    | None -> Candidate.select index spec
+    | Some f ->
+        verify_document_order
+          ~what:(Printf.sprintf "candidates(%s)" (Candidate.spec_to_string spec))
+          (f spec)
+  in
+  let check_output (tuples : Tuple.t array) =
+    Budget.check_tuples budget ~during:"execute"
+      ~count:(Array.length tuples);
+    tuples
   in
   let t0 = Clock.now_ns () in
   (* Each operator gets its own metrics and its own (monotonic) self time,
      so the run profile prices every operator separately; the per-operator
      metrics are folded into the run total afterwards. *)
   let rec eval plan =
+    Budget.check budget ~during:"execute";
     let inputs, apply =
       match plan with
       | Plan.Index_scan i ->
           ( [],
             fun own _ ->
-              let candidates = Candidate.select index (Pattern.label pat i) in
-              check_limit
-                (Operators.index_scan ~metrics:own ~width ~slot:i candidates) )
+              check_output
+                (Operators.index_scan ~metrics:own ~width ~slot:i
+                   (candidates_for i)) )
       | Plan.Sort { input; by } ->
           ( [ input ],
             fun own -> function
-              | [ (tuples, _) ] -> Operators.sort ~metrics:own ~doc ~by tuples
+              | [ (tuples, _) ] ->
+                  Operators.sort ~budget ~metrics:own ~doc ~by tuples
               | _ -> assert false )
       | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
           ( [ anc_side; desc_side ],
             fun own -> function
               | [ (anc_tuples, _); (desc_tuples, _) ] ->
-                  check_limit
-                    (Stack_tree.join ~metrics:own ~doc ~axis:edge.Pattern.axis
-                       ~algo
+                  check_output
+                    (Stack_tree.join ~budget ~metrics:own ~doc
+                       ~axis:edge.Pattern.axis ~algo
                        ~anc:(anc_tuples, edge.Pattern.anc)
-                       ~desc:(desc_tuples, edge.Pattern.desc))
+                       ~desc:(desc_tuples, edge.Pattern.desc) ())
               | _ -> assert false )
     in
     (* the span opens before the inputs run so child operators nest *)

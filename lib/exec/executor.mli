@@ -5,11 +5,6 @@ open Sjos_storage
 open Sjos_pattern
 open Sjos_plan
 
-exception Tuple_limit_exceeded of int
-(** Raised when an intermediate result exceeds the caller's safety bound —
-    deliberately bad plans on large documents can otherwise exhaust
-    memory. *)
-
 type run = {
   tuples : Tuple.t array;  (** the pattern matches, one tuple per match *)
   metrics : Metrics.t;  (** accumulated operation counts *)
@@ -22,14 +17,29 @@ type run = {
 
 val execute :
   ?factors:Sjos_cost.Cost_model.factors ->
+  ?budget:Sjos_guard.Budget.t ->
   ?max_tuples:int ->
+  ?fetch:(Candidate.spec -> Sjos_xml.Node.t array) ->
   Element_index.t ->
   Pattern.t ->
   Plan.t ->
   run
-(** Execute a plan.  Raises [Invalid_argument] when the plan is not valid
-    for the pattern, {!Tuple_limit_exceeded} when an operator's output
-    exceeds [max_tuples] (default: unlimited). *)
+(** Execute a plan under a resource budget.
+
+    Failure modes are structured: an invalid plan raises
+    [Sjos_guard.Error.Error (Invalid_plan _)]; exhausting the budget —
+    the deadline, the cancellation flag, or an operator output exceeding
+    the tuple ceiling — raises {!Sjos_guard.Budget.Exhausted} with the
+    partial tuple count preserved
+    ([Tuples_materialized { limit; count }]).  [max_tuples] is merged
+    into [budget] (minimum wins); both default to unlimited, which costs
+    nothing on the hot path.
+
+    [fetch] overrides where candidate streams come from (fault
+    injection, plan hints, alternative storage tiers).  Externally
+    fetched streams are verified to be in document order; a violation
+    raises [Error (Corrupt_input _)] instead of silently joining
+    garbage. *)
 
 val count_matches :
   ?factors:Sjos_cost.Cost_model.factors ->

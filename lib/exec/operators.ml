@@ -4,7 +4,8 @@ let index_scan ~metrics ~width ~slot candidates =
     metrics.Metrics.index_items + Array.length candidates;
   Array.map (fun node -> Tuple.singleton ~width slot node) candidates
 
-let sort ~metrics ~doc ~by tuples =
+let sort ?(budget = Sjos_guard.Budget.unlimited) ~metrics ~doc ~by tuples =
+  Sjos_guard.Budget.check budget ~during:"execute";
   let n = Array.length tuples in
   metrics.Metrics.sorts <- metrics.Metrics.sorts + 1;
   metrics.Metrics.sorted_items <- metrics.Metrics.sorted_items + n;

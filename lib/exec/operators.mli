@@ -8,7 +8,14 @@ val index_scan :
     Accounts one index item per candidate. *)
 
 val sort :
-  metrics:Metrics.t -> doc:Document.t -> by:int -> Tuple.t array -> Tuple.t array
+  ?budget:Sjos_guard.Budget.t ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  by:int ->
+  Tuple.t array ->
+  Tuple.t array
 (** Stable sort of tuples by the document order of the node bound in slot
     [by]; accounts [n log2 n] sort cost.  This is the blocking operator:
-    plans that contain it cannot pipeline. *)
+    plans that contain it cannot pipeline.  The budget's deadline and
+    cancellation flag are checked once before sorting (the sort itself is
+    bounded by its already-materialized input). *)

@@ -1,5 +1,6 @@
 open Sjos_xml
 open Sjos_plan
+open Sjos_guard
 
 (* Consecutive tuples with the same node in the join slot form one group;
    inputs sorted by the join node keep equal nodes adjacent. *)
@@ -35,21 +36,32 @@ let group_by_slot doc tuples slot =
   flush ();
   Array.of_list (List.rev !groups)
 
-let cross ~metrics ~count_io out_push a_tuples d_tuples =
+let cross ~budget ~metrics ~count_io out_push a_tuples d_tuples =
   List.iter
     (fun ta ->
       List.iter
         (fun td ->
           out_push (Tuple.merge ta td);
           metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+          Budget.check_tuples budget ~during:"execute"
+            ~count:metrics.Metrics.output_tuples;
           if count_io then metrics.Metrics.io_items <- metrics.Metrics.io_items + 2)
         d_tuples)
     a_tuples
 
+(* Deadline/cancellation polls in the merge loops are amortized: a clock
+   read per descendant group would dominate small joins. *)
+let poll_mask = 255
+
+let poll_merge ~budget iters =
+  incr iters;
+  if !iters land poll_mask = 0 then Budget.check budget ~during:"execute"
+
 (* --- Stack-Tree-Desc: stream output in descendant order --------------- *)
 
-let run_desc ~metrics ~axis anc_groups desc_groups =
+let run_desc ~budget ~metrics ~axis anc_groups desc_groups =
   let out = ref [] in
+  let iters = ref 0 in
   let stack = ref [] in
   (* head = top; entries form a nested chain, innermost first *)
   let pop_until start =
@@ -65,6 +77,7 @@ let run_desc ~metrics ~axis anc_groups desc_groups =
   let na = Array.length anc_groups and nd = Array.length desc_groups in
   let ai = ref 0 and di = ref 0 in
   while !di < nd do
+    poll_merge ~budget iters;
     let d = desc_groups.(!di) in
     if
       !ai < na && anc_groups.(!ai).node.Node.start_pos < d.node.Node.start_pos
@@ -82,7 +95,7 @@ let run_desc ~metrics ~axis anc_groups desc_groups =
       List.iter
         (fun a ->
           if Axes.related axis ~anc:a.node ~desc:d.node then
-            cross ~metrics ~count_io:false
+            cross ~budget ~metrics ~count_io:false
               (fun t -> out := t :: !out)
               a.tuples d.tuples)
         (List.rev !stack);
@@ -101,8 +114,9 @@ type anc_entry = {
          chunk is in final order, chunks in reverse arrival order *)
 }
 
-let run_anc ~metrics ~axis anc_groups desc_groups =
+let run_anc ~budget ~metrics ~axis anc_groups desc_groups =
   let out_chunks_rev = ref [] in
+  let iters = ref 0 in
   let stack = ref [] in
   let flush_entry e =
     (* this entry's own pairs (in descendant arrival order) come first:
@@ -130,6 +144,7 @@ let run_anc ~metrics ~axis anc_groups desc_groups =
   let na = Array.length anc_groups and nd = Array.length desc_groups in
   let ai = ref 0 and di = ref 0 in
   while !di < nd do
+    poll_merge ~budget iters;
     let d = desc_groups.(!di) in
     if
       !ai < na && anc_groups.(!ai).node.Node.start_pos < d.node.Node.start_pos
@@ -147,7 +162,7 @@ let run_anc ~metrics ~axis anc_groups desc_groups =
       List.iter
         (fun e ->
           if Axes.related axis ~anc:e.group.node ~desc:d.node then
-            cross ~metrics ~count_io:true
+            cross ~budget ~metrics ~count_io:true
               (fun t -> e.self_rev <- t :: e.self_rev)
               e.group.tuples d.tuples)
         !stack;
@@ -164,11 +179,13 @@ let run_anc ~metrics ~axis anc_groups desc_groups =
   done;
   Array.of_list (List.concat (List.rev !out_chunks_rev))
 
-let join ~metrics ~doc ~axis ~algo ~anc:(anc_tuples, anc_slot)
-    ~desc:(desc_tuples, desc_slot) =
+let join ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
+    ~anc:(anc_tuples, anc_slot) ~desc:(desc_tuples, desc_slot) () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
   let anc_groups = group_by_slot doc anc_tuples anc_slot in
   let desc_groups = group_by_slot doc desc_tuples desc_slot in
   match algo with
-  | Plan.Stack_tree_desc -> run_desc ~metrics ~axis anc_groups desc_groups
-  | Plan.Stack_tree_anc -> run_anc ~metrics ~axis anc_groups desc_groups
+  | Plan.Stack_tree_desc ->
+      run_desc ~budget ~metrics ~axis anc_groups desc_groups
+  | Plan.Stack_tree_anc ->
+      run_anc ~budget ~metrics ~axis anc_groups desc_groups

@@ -20,15 +20,22 @@ open Sjos_xml
 open Sjos_plan
 
 val join :
+  ?budget:Sjos_guard.Budget.t ->
   metrics:Metrics.t ->
   doc:Document.t ->
   axis:Axes.axis ->
   algo:Plan.algo ->
   anc:Tuple.t array * int ->
   desc:Tuple.t array * int ->
+  unit ->
   Tuple.t array
-(** [join ~metrics ~doc ~axis ~algo ~anc:(ta, sa) ~desc:(td, sd)] joins the
+(** [join ~metrics ~doc ~axis ~algo ~anc:(ta, sa) ~desc:(td, sd) ()] joins the
     tuples of [ta] (whose slot [sa] holds the ancestor-side node, sorted by
     it) with [td] (slot [sd], sorted by it), returning merged tuples
     ordered by the ancestor (STJ-Anc) or descendant (STJ-Desc) node.
-    Raises [Invalid_argument] if an input is not sorted by its join slot. *)
+    Raises [Invalid_argument] if an input is not sorted by its join slot.
+
+    [budget] (default unlimited, zero-cost) is polled from the merge
+    loops: every produced tuple is checked against the materialization
+    ceiling, and the deadline/cancellation flag every 256 merge steps —
+    raising {!Sjos_guard.Budget.Exhausted} with the partial output count. *)

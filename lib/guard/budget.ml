@@ -1,0 +1,120 @@
+open Sjos_obs
+
+type resource =
+  | Wall_clock
+  | Statuses_expanded
+  | Tuples_materialized of { limit : int; count : int }
+  | Cancelled
+
+type t = {
+  deadline_ns : int64 option;
+  max_expanded : int option;
+  max_tuples : int option;
+  cancelled : bool ref;
+}
+
+exception Exhausted of { resource : resource; during : string }
+
+let unlimited =
+  {
+    deadline_ns = None;
+    max_expanded = None;
+    max_tuples = None;
+    cancelled = ref false;
+  }
+
+let make ?deadline_ms ?max_expanded ?max_tuples ?cancelled () =
+  match (deadline_ms, max_expanded, max_tuples, cancelled) with
+  | None, None, None, None -> unlimited
+  | _ ->
+      let deadline_ns =
+        Option.map
+          (fun ms ->
+            Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+          deadline_ms
+      in
+      {
+        deadline_ns;
+        max_expanded;
+        max_tuples;
+        cancelled = Option.value cancelled ~default:(ref false);
+      }
+
+let is_unlimited t =
+  t == unlimited
+  || t.deadline_ns = None
+     && t.max_expanded = None
+     && t.max_tuples = None
+
+let cap_tuples t = function
+  | None -> t
+  | Some n ->
+      let merged =
+        match t.max_tuples with Some m -> min m n | None -> n
+      in
+      if t == unlimited then { unlimited with max_tuples = Some merged; cancelled = ref false }
+      else { t with max_tuples = Some merged }
+
+let poll t =
+  if t == unlimited then None
+  else if !(t.cancelled) then Some Cancelled
+  else
+    match t.deadline_ns with
+    | Some d when Int64.compare (Clock.now_ns ()) d >= 0 -> Some Wall_clock
+    | _ -> None
+
+let exhaust ~during resource = raise (Exhausted { resource; during })
+
+let check t ~during =
+  match poll t with Some r -> exhaust ~during r | None -> ()
+
+let check_search t ~during ~expanded =
+  if t != unlimited then begin
+    (match t.max_expanded with
+    | Some m when expanded >= m -> exhaust ~during Statuses_expanded
+    | _ -> ());
+    check t ~during
+  end
+
+let check_tuples t ~during ~count =
+  if t != unlimited then
+    match t.max_tuples with
+    | Some limit when count > limit ->
+        exhaust ~during (Tuples_materialized { limit; count })
+    | _ -> ()
+
+let resource_name = function
+  | Wall_clock -> "wall_clock"
+  | Statuses_expanded -> "statuses_expanded"
+  | Tuples_materialized _ -> "tuples_materialized"
+  | Cancelled -> "cancelled"
+
+let pp_resource ppf = function
+  | Tuples_materialized { limit; count } ->
+      Fmt.pf ppf "tuples_materialized (%d produced, limit %d)" count limit
+  | r -> Fmt.string ppf (resource_name r)
+
+let to_json t =
+  Json.Obj
+    [
+      ( "deadline_ns",
+        match t.deadline_ns with
+        | Some d -> Json.Str (Int64.to_string d)
+        | None -> Json.Null );
+      ( "max_expanded",
+        match t.max_expanded with Some n -> Json.Int n | None -> Json.Null );
+      ( "max_tuples",
+        match t.max_tuples with Some n -> Json.Int n | None -> Json.Null );
+      ("cancelled", Json.Bool !(t.cancelled));
+    ]
+
+let pp ppf t =
+  if is_unlimited t then Fmt.string ppf "unlimited"
+  else
+    Fmt.pf ppf "{deadline=%s; max_expanded=%a; max_tuples=%a%s}"
+      (match t.deadline_ns with Some _ -> "set" | None -> "none")
+      Fmt.(option ~none:(any "none") int)
+      t.max_expanded
+      Fmt.(option ~none:(any "none") int)
+      t.max_tuples
+      (if !(t.cancelled) then "; cancelled" else "")

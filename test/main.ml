@@ -15,5 +15,6 @@ let () =
       ("cache", Test_cache.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
+      ("guard", Test_guard.suite);
       ("properties", Test_properties.suite);
     ]

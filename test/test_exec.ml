@@ -45,7 +45,7 @@ let run_join algo axis =
   let anc = scan_tuples doc idx "a" 0 2 ~metrics in
   let desc = scan_tuples doc idx "b" 1 2 ~metrics in
   let out =
-    Stack_tree.join ~metrics ~doc ~axis ~algo ~anc:(anc, 0) ~desc:(desc, 1)
+    Stack_tree.join ~metrics ~doc ~axis ~algo ~anc:(anc, 0) ~desc:(desc, 1) ()
   in
   (out, metrics)
 
@@ -88,14 +88,14 @@ let test_stj_empty_inputs () =
   let none = scan_tuples doc idx "zz" 1 2 ~metrics in
   let out =
     Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant
-      ~algo:Plan.Stack_tree_desc ~anc:(a, 0) ~desc:(none, 1)
+      ~algo:Plan.Stack_tree_desc ~anc:(a, 0) ~desc:(none, 1) ()
   in
   check ci "empty desc" 0 (Array.length out);
   let none_anc = scan_tuples doc idx "zz" 0 2 ~metrics in
   let b = scan_tuples doc idx "b" 1 2 ~metrics in
   let out2 =
     Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant
-      ~algo:Plan.Stack_tree_anc ~anc:(none_anc, 0) ~desc:(b, 1)
+      ~algo:Plan.Stack_tree_anc ~anc:(none_anc, 0) ~desc:(b, 1) ()
   in
   check ci "empty anc" 0 (Array.length out2)
 
@@ -107,7 +107,7 @@ let test_stj_unsorted_rejected () =
   let reversed = Array.of_list (List.rev (Array.to_list a)) in
   match
     Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant
-      ~algo:Plan.Stack_tree_desc ~anc:(reversed, 0) ~desc:(a, 1)
+      ~algo:Plan.Stack_tree_desc ~anc:(reversed, 0) ~desc:(a, 1) ()
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "unsorted input should be rejected"
@@ -123,13 +123,13 @@ let test_stj_duplicate_join_values () =
   let b = Operators.index_scan ~metrics ~width ~slot:1 (Element_index.lookup idx "b") in
   let ab =
     Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant
-      ~algo:Plan.Stack_tree_anc ~anc:(a, 0) ~desc:(b, 1)
+      ~algo:Plan.Stack_tree_anc ~anc:(a, 0) ~desc:(b, 1) ()
   in
   (* ab ordered by a (slot 0), with a=0 appearing three times *)
   let c = Operators.index_scan ~metrics ~width ~slot:2 (Element_index.lookup idx "c") in
   let abc =
     Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant
-      ~algo:Plan.Stack_tree_desc ~anc:(ab, 0) ~desc:(c, 2)
+      ~algo:Plan.Stack_tree_desc ~anc:(ab, 0) ~desc:(c, 2) ()
   in
   (* c=4 is a descendant of a=0 only; expect one tuple per (0,b) pair *)
   let triples =
@@ -228,7 +228,7 @@ let test_executor_rejects_invalid () =
   let idx = Lazy.force Helpers.tiny_index in
   let p = Helpers.pat "manager(//employee(/name))" in
   match Executor.execute idx p (Plan.scan 0) with
-  | exception Invalid_argument _ -> ()
+  | exception Sjos_guard.Error.Error (Sjos_guard.Error.Invalid_plan _) -> ()
   | _ -> Alcotest.fail "partial plan must be rejected"
 
 let test_executor_limit () =
@@ -237,9 +237,15 @@ let test_executor_limit () =
   let provider = Helpers.exact_provider idx p in
   let r = Sjos_core.Optimizer.optimize ~provider Sjos_core.Optimizer.Dpp p in
   match Executor.execute ~max_tuples:3 idx p r.Sjos_core.Optimizer.plan with
-  | exception Executor.Tuple_limit_exceeded n ->
-      check cb "limit reported" true (n > 3)
-  | _ -> Alcotest.fail "expected Tuple_limit_exceeded"
+  | exception
+      Sjos_guard.Budget.Exhausted
+        {
+          resource = Sjos_guard.Budget.Tuples_materialized { limit; count };
+          _;
+        } ->
+      check ci "limit preserved" 3 limit;
+      check cb "partial count reported" true (count > 3)
+  | _ -> Alcotest.fail "expected Budget.Exhausted (Tuples_materialized)"
 
 let test_metrics_accounting () =
   let idx = Lazy.force Helpers.tiny_index in

@@ -154,7 +154,7 @@ let prop_stack_tree_equals_filter =
       let axis = if seed mod 2 = 0 then Axes.Descendant else Axes.Child in
       let algo = if seed mod 3 = 0 then Plan.Stack_tree_anc else Plan.Stack_tree_desc in
       let joined =
-        Stack_tree.join ~metrics ~doc ~axis ~algo ~anc:(a, 0) ~desc:(b, 1)
+        Stack_tree.join ~metrics ~doc ~axis ~algo ~anc:(a, 0) ~desc:(b, 1) ()
       in
       let expected =
         Array.to_list a
@@ -181,7 +181,7 @@ let prop_join_output_ordered =
       let check_sorted algo slot =
         let out =
           Stack_tree.join ~metrics ~doc ~axis:Axes.Descendant ~algo ~anc:(a, 0)
-            ~desc:(b, 1)
+            ~desc:(b, 1) ()
         in
         let ok = ref true in
         Array.iteri
@@ -241,7 +241,7 @@ let prop_mpmgjn_equals_stack_tree =
       in
       let st =
         Stack_tree.join ~metrics:m1 ~doc ~axis ~algo:Plan.Stack_tree_anc
-          ~anc:(scan m1 0 "a", 0) ~desc:(scan m1 1 "b", 1)
+          ~anc:(scan m1 0 "a", 0) ~desc:(scan m1 1 "b", 1) ()
       in
       let mj =
         Merge_join.join ~metrics:m2 ~doc ~axis ~anc:(scan m2 0 "a", 0)

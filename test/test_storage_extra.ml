@@ -113,6 +113,7 @@ let test_mpmgjn_matches_stack_tree () =
         Stack_tree.join ~metrics:m1 ~doc ~axis ~algo:Sjos_plan.Plan.Stack_tree_anc
           ~anc:(scan m1 0 anc_tag, 0)
           ~desc:(scan m1 1 desc_tag, 1)
+          ()
       in
       let mj =
         Merge_join.join ~metrics:m2 ~doc ~axis
@@ -142,7 +143,8 @@ let test_mpmgjn_rescans_nested () =
     (Stack_tree.join ~metrics:m1 ~doc ~axis:Axes.Descendant
        ~algo:Sjos_plan.Plan.Stack_tree_desc
        ~anc:(scan m1 0 "manager", 0)
-       ~desc:(scan m1 1 "name", 1));
+       ~desc:(scan m1 1 "name", 1)
+       ());
   ignore
     (Merge_join.join ~metrics:m2 ~doc ~axis:Axes.Descendant
        ~anc:(scan m2 0 "manager", 0)
