@@ -1,0 +1,220 @@
+(* Old-vs-new benchmark for the batch execution engine.
+
+   For each join-heavy workload pattern, optimizes once (DPP over the
+   database's histogram provider), then executes the SAME plan through
+   the legacy list-based engine ([Executor.execute ~kernel:`Legacy]) and
+   the columnar batch engine ([`Columnar]), comparing best-of-N wall
+   times and allocation ([Gc.allocated_bytes] deltas).  Outputs are
+   verified to be identical — same tuples, same order, same counters —
+   before any number is reported, so the speedup is never bought with a
+   semantics change.
+
+   Writes BENCH_PERF.json and prints a table plus a machine-checkable
+   shape line: no pattern may regress, and at least one Mbench/DBLP
+   pattern must run >= 2x faster columnar than legacy.
+
+   Environment knobs:
+     SJOS_BENCH_SCALE  scale data set sizes (default 0.5; 1.0 = full)
+     SJOS_BENCH_REPS   timed repetitions per engine (default 5)
+
+   Run with: dune exec bench/bench_perf.exe *)
+
+open Sjos_engine
+open Sjos_core
+open Sjos_exec
+
+let scale =
+  match Sys.getenv_opt "SJOS_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.5)
+  | None -> 0.5
+
+let reps =
+  match Sys.getenv_opt "SJOS_BENCH_REPS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+let scaled base = max 500 (int_of_float (float_of_int base *. scale))
+
+(* The join-heavy subset of the workload: every pattern has >= 2
+   structural joins, which is where the kernels live. *)
+let bench_ids =
+  [ "Q.Mbench.1.a"; "Q.Mbench.2.b"; "Q.DBLP.1.b"; "Q.DBLP.2.c"; "Q.Pers.3.d" ]
+
+let doc_cache : (Workload.dataset, Sjos_xml.Document.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let doc_for ds =
+  match Hashtbl.find_opt doc_cache ds with
+  | Some d -> d
+  | None ->
+      let d = Workload.generate ~size:(scaled (Workload.default_size ds)) ds in
+      Hashtbl.add doc_cache ds d;
+      d
+
+let tuples_equal (a : Tuple.t array) (b : Tuple.t array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i t -> if not (Tuple.equal t b.(i)) then ok := false) a;
+  !ok
+
+(* skipped_items excluded: the legacy engine never skips. *)
+let metrics_equal (a : Metrics.t) (b : Metrics.t) =
+  a.Metrics.index_items = b.Metrics.index_items
+  && a.Metrics.stack_ops = b.Metrics.stack_ops
+  && a.Metrics.io_items = b.Metrics.io_items
+  && a.Metrics.sorted_items = b.Metrics.sorted_items
+  && a.Metrics.output_tuples = b.Metrics.output_tuples
+  && a.Metrics.joins = b.Metrics.joins
+  && a.Metrics.sorts = b.Metrics.sorts
+
+type row = {
+  id : string;
+  dataset : string;
+  nodes : int;
+  rows_out : int;
+  legacy_seconds : float;
+  columnar_seconds : float;
+  legacy_bytes : float;
+  columnar_bytes : float;
+  skipped_items : int;
+  identical : bool;
+}
+
+let speedup r = r.legacy_seconds /. r.columnar_seconds
+let alloc_ratio r = r.legacy_bytes /. r.columnar_bytes
+
+let bench_query (query : Workload.query) =
+  let doc = doc_for query.Workload.dataset in
+  let db = Database.of_document doc in
+  let index = Database.index db in
+  let pattern = query.Workload.pattern in
+  let provider = Database.provider db pattern in
+  let _, plan = Dpp.run (Search.make_ctx ~provider pattern) in
+  let run kernel = Executor.execute ~kernel index pattern plan in
+  (* correctness first: engines must agree before we time anything *)
+  let legacy_run = run `Legacy in
+  let columnar_run = run `Columnar in
+  let identical =
+    tuples_equal legacy_run.Executor.tuples columnar_run.Executor.tuples
+    && metrics_equal legacy_run.Executor.metrics columnar_run.Executor.metrics
+  in
+  let allocated kernel =
+    let before = Gc.allocated_bytes () in
+    ignore (run kernel);
+    Gc.allocated_bytes () -. before
+  in
+  let time_batch kernel iters =
+    let t0 = Sjos_obs.Clock.now_ns () in
+    for _ = 1 to iters do
+      ignore (run kernel)
+    done;
+    Sjos_obs.Clock.elapsed_seconds ~since:t0 /. float_of_int iters
+  in
+  (* adaptive: microsecond-scale queries are timed in batches big enough
+     (>= ~4ms) that clock granularity and scheduler jitter don't drown
+     the signal *)
+  let calibrate kernel =
+    let iters = ref 1 in
+    while
+      !iters < 65536
+      && time_batch kernel !iters *. float_of_int !iters < 0.004
+    do
+      iters := !iters * 4
+    done;
+    !iters
+  in
+  (* the engines are sampled interleaved, with the heap compacted before
+     each sample, so a load spike or GC debt penalizes both equally
+     instead of whichever happened to run during it *)
+  let best_seconds () =
+    let il = calibrate `Legacy and ic = calibrate `Columnar in
+    let bl = ref infinity and bc = ref infinity in
+    for _ = 1 to reps do
+      Gc.compact ();
+      let l = time_batch `Legacy il in
+      Gc.compact ();
+      let c = time_batch `Columnar ic in
+      if l < !bl then bl := l;
+      if c < !bc then bc := c
+    done;
+    (!bl, !bc)
+  in
+  let legacy_seconds, columnar_seconds = best_seconds () in
+  {
+    id = query.Workload.id;
+    dataset = Workload.dataset_name query.Workload.dataset;
+    nodes = Sjos_xml.Document.size doc;
+    rows_out = Array.length columnar_run.Executor.tuples;
+    legacy_seconds;
+    columnar_seconds;
+    legacy_bytes = allocated `Legacy;
+    columnar_bytes = allocated `Columnar;
+    skipped_items = columnar_run.Executor.metrics.Metrics.skipped_items;
+    identical;
+  }
+
+let row_to_json r =
+  Sjos_obs.Json.Obj
+    [
+      ("id", Sjos_obs.Json.Str r.id);
+      ("dataset", Sjos_obs.Json.Str r.dataset);
+      ("nodes", Sjos_obs.Json.Int r.nodes);
+      ("output_tuples", Sjos_obs.Json.Int r.rows_out);
+      ("legacy_seconds", Sjos_obs.Json.Float r.legacy_seconds);
+      ("columnar_seconds", Sjos_obs.Json.Float r.columnar_seconds);
+      ("speedup", Sjos_obs.Json.Float (speedup r));
+      ("legacy_allocated_bytes", Sjos_obs.Json.Float r.legacy_bytes);
+      ("columnar_allocated_bytes", Sjos_obs.Json.Float r.columnar_bytes);
+      ("alloc_ratio", Sjos_obs.Json.Float (alloc_ratio r));
+      ("skipped_items", Sjos_obs.Json.Int r.skipped_items);
+      ("identical_output", Sjos_obs.Json.Bool r.identical);
+    ]
+
+let () =
+  Printf.printf "batch execution engine: old vs new (scale %.2f, best of %d)\n"
+    scale reps;
+  Printf.printf "%-14s %-7s %8s %9s %11s %11s %8s %8s %10s\n" "query" "data"
+    "nodes" "tuples" "legacy(s)" "columnar(s)" "speedup" "alloc x" "skipped";
+  let rows =
+    List.map (fun id -> bench_query (Workload.find id)) bench_ids
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %-7s %8d %9d %11.6f %11.6f %7.2fx %7.2fx %10d%s\n"
+        r.id r.dataset r.nodes r.rows_out r.legacy_seconds r.columnar_seconds
+        (speedup r) (alloc_ratio r) r.skipped_items
+        (if r.identical then "" else "  !! OUTPUT MISMATCH"))
+    rows;
+  let all_identical = List.for_all (fun r -> r.identical) rows in
+  let no_regression = List.for_all (fun r -> speedup r >= 1.0) rows in
+  let big_win =
+    List.exists
+      (fun r ->
+        (r.dataset = "Mbench" || r.dataset = "DBLP") && speedup r >= 2.0)
+      rows
+  in
+  let pass = all_identical && no_regression && big_win in
+  let json =
+    Sjos_obs.Json.Obj
+      [
+        ("scale", Sjos_obs.Json.Float scale);
+        ("reps", Sjos_obs.Json.Int reps);
+        ("patterns", Sjos_obs.Json.List (List.map row_to_json rows));
+        ( "shape",
+          Sjos_obs.Json.Obj
+            [
+              ("identical_outputs", Sjos_obs.Json.Bool all_identical);
+              ("no_regression", Sjos_obs.Json.Bool no_regression);
+              ("mbench_dblp_2x", Sjos_obs.Json.Bool big_win);
+              ("pass", Sjos_obs.Json.Bool pass);
+            ] );
+      ]
+  in
+  Sjos_obs.Report.write_file "BENCH_PERF.json" json;
+  Printf.printf "wrote BENCH_PERF.json\n";
+  Printf.printf
+    "shape check: identical outputs, no pattern regresses, >=2x on an \
+     Mbench/DBLP pattern: %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not all_identical then exit 1

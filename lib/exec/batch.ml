@@ -1,0 +1,133 @@
+open Sjos_xml
+
+(* ---------- reusable growable int buffer ---------- *)
+
+module Ibuf = struct
+  type t = { mutable len : int; mutable data : int array }
+
+  let create cap = { len = 0; data = Array.make (max cap 16) 0 }
+  let length b = b.len
+  let clear b = b.len <- 0
+
+  let grow b needed =
+    let cap = ref (Array.length b.data) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap 0 in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+
+  let reserve b extra = if b.len + extra > Array.length b.data then grow b (b.len + extra)
+
+  let push b v =
+    if b.len = Array.length b.data then grow b (b.len + 1);
+    Array.unsafe_set b.data b.len v;
+    b.len <- b.len + 1
+
+  let get b i = b.data.(i)
+  let data b = b.data
+
+  let to_array b = Array.sub b.data 0 b.len
+end
+
+(* ---------- columnar tuple batches ---------- *)
+
+type t = { width : int; mutable len : int; mutable data : int array }
+
+let create ?(cap = 64) width =
+  { width; len = 0; data = Array.make (max width (cap * width)) Tuple.unbound }
+
+let width b = b.width
+let length b = b.len
+let data b = b.data
+
+let get b row slot = b.data.((row * b.width) + slot)
+
+let unsafe_of_raw ~width ~len data =
+  if len * width > Array.length data then
+    invalid_arg "Batch.unsafe_of_raw: data shorter than len * width";
+  { width; len; data }
+
+let of_tuples ~width (tuples : Tuple.t array) =
+  let n = Array.length tuples in
+  let data = Array.make (n * width) Tuple.unbound in
+  for i = 0 to n - 1 do
+    let t = Array.unsafe_get tuples i in
+    if Array.length t <> width then
+      invalid_arg "Batch.of_tuples: tuple width mismatch";
+    Array.blit t 0 data (i * width) width
+  done;
+  { width; len = n; data }
+
+let to_tuples b =
+  (* hand-rolled: one [Array.init]+[Array.sub] per row costs two extra
+     C calls on what is the single hottest conversion in the engine *)
+  let { width; len; data } = b in
+  if len = 0 then [||]
+  else begin
+    let out = Array.make len ([||] : Tuple.t) in
+    for i = 0 to len - 1 do
+      let t = Array.make width Tuple.unbound in
+      let base = i * width in
+      for k = 0 to width - 1 do
+        Array.unsafe_set t k (Array.unsafe_get data (base + k))
+      done;
+      Array.unsafe_set out i t
+    done;
+    out
+  end
+
+let of_ids ~width ~slot (ids : int array) =
+  if slot < 0 || slot >= width then invalid_arg "Batch.of_ids: slot out of range";
+  let n = Array.length ids in
+  let data = Array.make (n * width) Tuple.unbound in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data ((i * width) + slot) (Array.unsafe_get ids i)
+  done;
+  { width; len = n; data }
+
+(* ---------- key-column sorts ---------- *)
+
+(* Stable permutation sort on a precomputed int key column: the comparator
+   touches only machine ints — no [Document.node] calls, no polymorphic
+   compare. *)
+let sort_perm (keys : int array) =
+  let n = Array.length keys in
+  let perm = Array.init n (fun i -> i) in
+  Array.stable_sort
+    (fun i j -> Int.compare (Array.unsafe_get keys i) (Array.unsafe_get keys j))
+    perm;
+  perm
+
+let key_of_id ~what (starts : int array) id =
+  if id < 0 || id >= Array.length starts then
+    invalid_arg (Printf.sprintf "%s: id %d out of range" what id)
+  else Array.unsafe_get starts id
+
+let sort ~doc ~by b =
+  let { Document.starts; _ } = Document.columns doc in
+  let n = b.len and w = b.width in
+  let keys = Array.make n 0 in
+  for i = 0 to n - 1 do
+    keys.(i) <-
+      key_of_id ~what:"Batch.sort" starts (Array.unsafe_get b.data ((i * w) + by))
+  done;
+  let perm = sort_perm keys in
+  let data = Array.make (n * w) Tuple.unbound in
+  for i = 0 to n - 1 do
+    Array.blit b.data (Array.unsafe_get perm i * w) data (i * w) w
+  done;
+  { width = w; len = n; data }
+
+let sort_tuples ~doc ~by (tuples : Tuple.t array) =
+  let { Document.starts; _ } = Document.columns doc in
+  let n = Array.length tuples in
+  let keys = Array.make n 0 in
+  for i = 0 to n - 1 do
+    keys.(i) <-
+      key_of_id ~what:"Batch.sort_tuples" starts
+        (Tuple.get (Array.unsafe_get tuples i) by)
+  done;
+  let perm = sort_perm keys in
+  Array.init n (fun i -> tuples.(perm.(i)))

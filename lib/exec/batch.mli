@@ -1,0 +1,83 @@
+(** Columnar tuple batches for the batch execution engine.
+
+    A batch stores [len] tuples of a fixed [width] in one flat row-major
+    [int array] ([data.(row * width + slot)]), so the join and sort
+    kernels move machine integers with [Array.blit]/unsafe loads instead
+    of allocating a boxed [int array] per tuple and a cons cell per
+    output.  The classic {!Tuple.t array} surface is recovered with
+    {!to_tuples} at operator boundaries (EXPLAIN, plan cache, budgets and
+    chaos verification all keep seeing tuple arrays). *)
+
+open Sjos_xml
+
+(** Reusable growable int buffers — the allocation discipline of the
+    kernels: output grows by doubling, never through list conses. *)
+module Ibuf : sig
+  type t
+
+  val create : int -> t
+  (** [create cap] — an empty buffer with the given initial capacity
+      (clamped to at least 16). *)
+
+  val length : t -> int
+  val clear : t -> unit
+  (** Reset to length 0, keeping the allocated storage for reuse. *)
+
+  val reserve : t -> int -> unit
+  (** [reserve b extra] ensures capacity for [extra] more ints. *)
+
+  val push : t -> int -> unit
+  val get : t -> int -> int
+
+  val data : t -> int array
+  (** Backing storage; entries [0 .. length-1] are live.  Exposed for the
+      join kernels; do not mutate elsewhere. *)
+
+  val to_array : t -> int array
+end
+
+type t
+
+val create : ?cap:int -> int -> t
+(** [create width] — an empty batch of the given tuple width; [cap] is
+    the initial row capacity. *)
+
+val width : t -> int
+val length : t -> int
+(** Number of tuples (rows). *)
+
+val data : t -> int array
+(** The backing row-major storage; rows [0 .. length-1] are live (the
+    array may have spare capacity past them).  Exposed for the join
+    kernels; do not mutate elsewhere. *)
+
+val get : t -> int -> int -> int
+(** [get b row slot] — bounds-checked single-cell read. *)
+
+val unsafe_of_raw : width:int -> len:int -> int array -> t
+(** Wrap kernel-produced row-major storage without copying.  [data] may
+    carry spare capacity past [len * width] rows; it must not be mutated
+    afterwards.  Raises [Invalid_argument] if the array is too short. *)
+
+val of_tuples : width:int -> Tuple.t array -> t
+(** Pack an existing tuple array.  Raises [Invalid_argument] on a width
+    mismatch. *)
+
+val to_tuples : t -> Tuple.t array
+(** The thin conversion back to the legacy surface: one fresh [Tuple.t]
+    per row. *)
+
+val of_ids : width:int -> slot:int -> int array -> t
+(** Index-scan constructor: row [i] binds only [slot], to [ids.(i)]. *)
+
+val sort : doc:Document.t -> by:int -> t -> t
+(** Stable sort of the rows by the document order of the node bound in
+    slot [by].  Keys are read once from the document's [starts] column
+    into a flat key array, an index permutation is sorted with a
+    monomorphic int comparator (no [Document.node] calls inside the
+    comparator), and rows are blitted into place.  Raises
+    [Invalid_argument] if a row's [by] slot is unbound or out of range. *)
+
+val sort_tuples : doc:Document.t -> by:int -> Tuple.t array -> Tuple.t array
+(** The same key-column permutation sort over a plain tuple array, shared
+    with the streaming interpreter. *)

@@ -5,6 +5,8 @@ open Sjos_plan
 open Sjos_obs
 open Sjos_guard
 
+type kernel = [ `Columnar | `Legacy ]
+
 type run = {
   tuples : Tuple.t array;
   metrics : Metrics.t;
@@ -21,14 +23,30 @@ let op_span_name = function
 (* Candidate arrays from our own element index are sorted by construction;
    an externally supplied fetch (plan hints, fault injection, a remote
    storage tier) is a trust boundary and gets verified — the joins silently
-   produce garbage on unsorted input otherwise. *)
-let verify_document_order ~what candidates =
+   produce garbage on unsorted input otherwise.  The check reads the
+   document's [starts] column instead of chasing one [Node.t] record per
+   element: that is also exactly what the join kernels will see, since
+   they resolve positions through the document, not through the fetched
+   records.  An id the document does not know is reported as corrupt
+   rather than joined blindly. *)
+let verify_document_order ~doc ~what candidates =
+  let { Sjos_xml.Document.starts; _ } = Sjos_xml.Document.columns doc in
+  let size = Array.length starts in
   let n = Array.length candidates in
-  for i = 1 to n - 1 do
-    if
-      candidates.(i).Sjos_xml.Node.start_pos
-      < candidates.(i - 1).Sjos_xml.Node.start_pos
-    then
+  let prev = ref min_int in
+  for i = 0 to n - 1 do
+    let id = candidates.(i).Sjos_xml.Node.id in
+    if id < 0 || id >= size then
+      Error.fail
+        (Error.Corrupt_input
+           {
+             source = what;
+             reason =
+               Printf.sprintf "candidate id %d not in document at position %d"
+                 id i;
+           });
+    let s = Array.unsafe_get starts id in
+    if s < !prev then
       Error.fail
         (Error.Corrupt_input
            {
@@ -36,12 +54,29 @@ let verify_document_order ~what candidates =
              reason =
                Printf.sprintf
                  "candidate stream not in document order at position %d" i;
-           })
+           });
+    prev := s
   done;
   candidates
 
+(* One physical engine = how each operator runs and how rows are counted.
+   The two instantiations (columnar batches, legacy tuple arrays) share
+   the interpreter below, so spans, per-operator metrics and the run
+   profile are produced identically by both.  [root_join] runs the
+   plan's outermost join straight to the caller-facing tuple format —
+   for the columnar engine that skips one full materialization of the
+   (often dominant) root output. *)
+type 'r engine = {
+  scan : Metrics.t -> int -> 'r;
+  sort_op : Metrics.t -> int -> 'r -> 'r;
+  join_op : Metrics.t -> Pattern.edge -> Plan.algo -> 'r -> 'r -> 'r;
+  root_join : Metrics.t -> Pattern.edge -> Plan.algo -> 'r -> 'r -> Tuple.t array;
+  rows : 'r -> int;
+  to_tuples : 'r -> Tuple.t array;
+}
+
 let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
-    ?max_tuples ?fetch index pat plan =
+    ?max_tuples ?fetch ?(kernel = `Columnar) index pat plan =
   (match Properties.validate pat plan with
   | Ok () -> ()
   | Error msg -> Error.fail (Error.Invalid_plan msg));
@@ -54,73 +89,155 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
     match fetch with
     | None -> Candidate.select index spec
     | Some f ->
-        verify_document_order
+        verify_document_order ~doc
           ~what:(Printf.sprintf "candidates(%s)" (Candidate.spec_to_string spec))
           (f spec)
   in
-  let check_output (tuples : Tuple.t array) =
-    Budget.check_tuples budget ~during:"execute"
-      ~count:(Array.length tuples);
-    tuples
+  let candidate_cols_for i =
+    let spec = Pattern.label pat i in
+    match fetch with
+    | None -> Candidate.select_cols index spec
+    | Some f ->
+        Element_index.columns_of_nodes
+          (verify_document_order ~doc
+             ~what:
+               (Printf.sprintf "candidates(%s)" (Candidate.spec_to_string spec))
+             (f spec))
   in
   let t0 = Clock.now_ns () in
   (* Each operator gets its own metrics and its own (monotonic) self time,
      so the run profile prices every operator separately; the per-operator
      metrics are folded into the run total afterwards. *)
-  let rec eval plan =
-    Budget.check budget ~during:"execute";
-    let inputs, apply =
+  let run_with : type r. r engine -> Tuple.t array * Explain.measured =
+   fun eng ->
+    let check_output r =
+      Budget.check_tuples budget ~during:"execute" ~count:(eng.rows r);
+      r
+    in
+    (* [measure] owns the span/metrics/profile bookkeeping; it is
+       polymorphic in the produced value so the root operator can produce
+       the caller-facing tuple array while interior operators stay in the
+       engine's row representation. *)
+    let rec eval plan : r * Explain.measured =
       match plan with
       | Plan.Index_scan i ->
-          ( [],
-            fun own _ ->
-              check_output
-                (Operators.index_scan ~metrics:own ~width ~slot:i
-                   (candidates_for i)) )
+          measure plan [] (fun own _ -> check_output (eng.scan own i)) eng.rows
       | Plan.Sort { input; by } ->
-          ( [ input ],
-            fun own -> function
-              | [ (tuples, _) ] ->
-                  Operators.sort ~budget ~metrics:own ~doc ~by tuples
-              | _ -> assert false )
+          measure plan [ input ]
+            (fun own -> function
+              | [ (r, _) ] -> eng.sort_op own by r
+              | _ -> assert false)
+            eng.rows
       | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
-          ( [ anc_side; desc_side ],
-            fun own -> function
-              | [ (anc_tuples, _); (desc_tuples, _) ] ->
-                  check_output
-                    (Stack_tree.join ~budget ~metrics:own ~doc
-                       ~axis:edge.Pattern.axis ~algo
-                       ~anc:(anc_tuples, edge.Pattern.anc)
-                       ~desc:(desc_tuples, edge.Pattern.desc) ())
-              | _ -> assert false )
+          measure plan
+            [ anc_side; desc_side ]
+            (fun own -> function
+              | [ (a, _); (d, _) ] -> check_output (eng.join_op own edge algo a d)
+              | _ -> assert false)
+            eng.rows
+    and measure :
+        'a.
+        Plan.t ->
+        Plan.t list ->
+        (Metrics.t -> (r * Explain.measured) list -> 'a) ->
+        ('a -> int) ->
+        'a * Explain.measured =
+     fun plan inputs apply rows_of ->
+      Budget.check budget ~during:"execute";
+      (* the span opens before the inputs run so child operators nest *)
+      let span = Trace.begin_span (op_span_name plan) in
+      let child_results =
+        (* left-to-right: ancestor side before descendant side *)
+        List.rev (List.fold_left (fun acc p -> eval p :: acc) [] inputs)
+      in
+      let own = Metrics.create () in
+      let op_t0 = Clock.now_ns () in
+      let r = apply own child_results in
+      let seconds = Clock.elapsed_seconds ~since:op_t0 in
+      Trace.end_span span
+        ~attrs:
+          [
+            ("rows", Json.Int (rows_of r));
+            ("cost_units", Json.Float (Metrics.cost_units factors own));
+          ];
+      Metrics.add metrics own;
+      ( r,
+        {
+          Explain.mplan = plan;
+          rows = rows_of r;
+          units = Metrics.cost_units factors own;
+          seconds;
+          inputs = List.map snd child_results;
+        } )
     in
-    (* the span opens before the inputs run so child operators nest *)
-    let span = Trace.begin_span (op_span_name plan) in
-    let child_results =
-      (* left-to-right: ancestor side before descendant side *)
-      List.rev (List.fold_left (fun acc p -> eval p :: acc) [] inputs)
-    in
-    let own = Metrics.create () in
-    let op_t0 = Clock.now_ns () in
-    let tuples = apply own child_results in
-    let seconds = Clock.elapsed_seconds ~since:op_t0 in
-    Trace.end_span span
-      ~attrs:
-        [
-          ("rows", Json.Int (Array.length tuples));
-          ("cost_units", Json.Float (Metrics.cost_units factors own));
-        ];
-    Metrics.add metrics own;
-    ( tuples,
-      {
-        Explain.mplan = plan;
-        rows = Array.length tuples;
-        units = Metrics.cost_units factors own;
-        seconds;
-        inputs = List.map snd child_results;
-      } )
+    match plan with
+    | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
+        measure plan
+          [ anc_side; desc_side ]
+          (fun own -> function
+            | [ (a, _); (d, _) ] ->
+                let tuples = eng.root_join own edge algo a d in
+                Budget.check_tuples budget ~during:"execute"
+                  ~count:(Array.length tuples);
+                tuples
+            | _ -> assert false)
+          Array.length
+    | _ ->
+        let r, profile = eval plan in
+        (eng.to_tuples r, profile)
   in
-  let tuples, profile = eval plan in
+  let tuples, profile =
+    match kernel with
+    | `Columnar ->
+        run_with
+          {
+            scan =
+              (fun own i ->
+                Operators.index_scan_batch ~metrics:own ~width ~slot:i
+                  (candidate_cols_for i));
+            sort_op =
+              (fun own by b -> Operators.sort_batch ~budget ~metrics:own ~doc ~by b);
+            join_op =
+              (fun own edge algo a d ->
+                Stack_tree.join_batch ~budget ~metrics:own ~doc
+                  ~axis:edge.Pattern.axis ~algo
+                  ~anc:(a, edge.Pattern.anc)
+                  ~desc:(d, edge.Pattern.desc) ());
+            root_join =
+              (fun own edge algo a d ->
+                Stack_tree.join_root ~budget ~metrics:own ~doc
+                  ~axis:edge.Pattern.axis ~algo
+                  ~anc:(a, edge.Pattern.anc)
+                  ~desc:(d, edge.Pattern.desc) ());
+            rows = Batch.length;
+            to_tuples = Batch.to_tuples;
+          }
+    | `Legacy ->
+        run_with
+          {
+            scan =
+              (fun own i ->
+                Operators.index_scan ~metrics:own ~width ~slot:i
+                  (candidates_for i));
+            sort_op =
+              (fun own by tuples ->
+                Operators.sort_legacy ~budget ~metrics:own ~doc ~by tuples);
+            join_op =
+              (fun own edge algo a d ->
+                Stack_tree_legacy.join ~budget ~metrics:own ~doc
+                  ~axis:edge.Pattern.axis ~algo
+                  ~anc:(a, edge.Pattern.anc)
+                  ~desc:(d, edge.Pattern.desc) ());
+            root_join =
+              (fun own edge algo a d ->
+                Stack_tree_legacy.join ~budget ~metrics:own ~doc
+                  ~axis:edge.Pattern.axis ~algo
+                  ~anc:(a, edge.Pattern.anc)
+                  ~desc:(d, edge.Pattern.desc) ());
+            rows = Array.length;
+            to_tuples = Fun.id;
+          }
+  in
   let seconds = Clock.elapsed_seconds ~since:t0 in
   if Registry.enabled () then begin
     Registry.add_seconds (Registry.timer "executor.seconds") seconds;

@@ -5,6 +5,16 @@ open Sjos_storage
 open Sjos_pattern
 open Sjos_plan
 
+type kernel = [ `Columnar | `Legacy ]
+(** Which physical engine interprets the plan.  [`Columnar] (the default)
+    runs the batch execution engine: flat-array scans, key-column
+    permutation sorts and the skip-ahead Stack-Tree kernels.  [`Legacy]
+    runs the original tuple-array operators ({!Stack_tree_legacy},
+    {!Operators.sort_legacy}) — kept as the measured baseline for
+    [bench/bench_perf] and the differential tests.  Both engines produce
+    identical tuples, profiles and counters (modulo
+    {!Metrics.t.skipped_items}). *)
+
 type run = {
   tuples : Tuple.t array;  (** the pattern matches, one tuple per match *)
   metrics : Metrics.t;  (** accumulated operation counts *)
@@ -20,6 +30,7 @@ val execute :
   ?budget:Sjos_guard.Budget.t ->
   ?max_tuples:int ->
   ?fetch:(Candidate.spec -> Sjos_xml.Node.t array) ->
+  ?kernel:kernel ->
   Element_index.t ->
   Pattern.t ->
   Plan.t ->
@@ -37,7 +48,8 @@ val execute :
 
     [fetch] overrides where candidate streams come from (fault
     injection, plan hints, alternative storage tiers).  Externally
-    fetched streams are verified to be in document order; a violation
+    fetched streams are verified against the document's position columns:
+    an out-of-order stream, or a node id the document does not know,
     raises [Error (Corrupt_input _)] instead of silently joining
     garbage. *)
 

@@ -7,6 +7,7 @@ type t = {
   mutable sorted_items : int;
   mutable sort_cost : float;
   mutable output_tuples : int;
+  mutable skipped_items : int;
   mutable joins : int;
   mutable sorts : int;
 }
@@ -19,6 +20,7 @@ let create () =
     sorted_items = 0;
     sort_cost = 0.0;
     output_tuples = 0;
+    skipped_items = 0;
     joins = 0;
     sorts = 0;
   }
@@ -30,6 +32,7 @@ let reset t =
   t.sorted_items <- 0;
   t.sort_cost <- 0.0;
   t.output_tuples <- 0;
+  t.skipped_items <- 0;
   t.joins <- 0;
   t.sorts <- 0
 
@@ -40,6 +43,7 @@ let add acc t =
   acc.sorted_items <- acc.sorted_items + t.sorted_items;
   acc.sort_cost <- acc.sort_cost +. t.sort_cost;
   acc.output_tuples <- acc.output_tuples + t.output_tuples;
+  acc.skipped_items <- acc.skipped_items + t.skipped_items;
   acc.joins <- acc.joins + t.joins;
   acc.sorts <- acc.sorts + t.sorts
 
@@ -51,9 +55,9 @@ let cost_units (f : Cost_model.factors) t =
 
 let pp ppf t =
   Fmt.pf ppf
-    "idx=%d stack=%d io=%d sorted=%d out=%d joins=%d sorts=%d"
+    "idx=%d stack=%d io=%d sorted=%d out=%d skipped=%d joins=%d sorts=%d"
     t.index_items t.stack_ops t.io_items t.sorted_items t.output_tuples
-    t.joins t.sorts
+    t.skipped_items t.joins t.sorts
 
 let to_json t =
   Sjos_obs.Json.Obj
@@ -64,6 +68,7 @@ let to_json t =
       ("sorted_items", Sjos_obs.Json.Int t.sorted_items);
       ("sort_cost", Sjos_obs.Json.Float t.sort_cost);
       ("output_tuples", Sjos_obs.Json.Int t.output_tuples);
+      ("skipped_items", Sjos_obs.Json.Int t.skipped_items);
       ("joins", Sjos_obs.Json.Int t.joins);
       ("sorts", Sjos_obs.Json.Int t.sorts);
     ]

@@ -13,6 +13,10 @@ type t = {
   mutable sorted_items : int;  (** tuples passed through sorts *)
   mutable sort_cost : float;  (** accumulated [n log2 n] terms *)
   mutable output_tuples : int;  (** tuples emitted by joins *)
+  mutable skipped_items : int;
+      (** input tuples the batch kernels' skip-ahead jumped over without
+          visiting — diagnostics only, never priced by the cost model, and
+          always [0] for the legacy list-based kernels *)
   mutable joins : int;
   mutable sorts : int;
 }

@@ -1,18 +1,37 @@
+open Sjos_storage
 
 let index_scan ~metrics ~width ~slot candidates =
   metrics.Metrics.index_items <-
     metrics.Metrics.index_items + Array.length candidates;
   Array.map (fun node -> Tuple.singleton ~width slot node) candidates
 
-let sort ?(budget = Sjos_guard.Budget.unlimited) ~metrics ~doc ~by tuples =
-  Sjos_guard.Budget.check budget ~during:"execute";
-  let n = Array.length tuples in
+let index_scan_batch ~metrics ~width ~slot (cols : Element_index.columns) =
+  metrics.Metrics.index_items <-
+    metrics.Metrics.index_items + Array.length cols.Element_index.ids;
+  Batch.of_ids ~width ~slot cols.Element_index.ids
+
+let account_sort ~metrics n =
   metrics.Metrics.sorts <- metrics.Metrics.sorts + 1;
   metrics.Metrics.sorted_items <- metrics.Metrics.sorted_items + n;
   if n > 1 then
     metrics.Metrics.sort_cost <-
       metrics.Metrics.sort_cost
-      +. (float_of_int n *. (Float.log (float_of_int n) /. Float.log 2.0));
+      +. (float_of_int n *. (Float.log (float_of_int n) /. Float.log 2.0))
+
+let sort ?(budget = Sjos_guard.Budget.unlimited) ~metrics ~doc ~by tuples =
+  Sjos_guard.Budget.check budget ~during:"execute";
+  account_sort ~metrics (Array.length tuples);
+  Batch.sort_tuples ~doc ~by tuples
+
+let sort_batch ?(budget = Sjos_guard.Budget.unlimited) ~metrics ~doc ~by b =
+  Sjos_guard.Budget.check budget ~during:"execute";
+  account_sort ~metrics (Batch.length b);
+  Batch.sort ~doc ~by b
+
+let sort_legacy ?(budget = Sjos_guard.Budget.unlimited) ~metrics ~doc ~by
+    tuples =
+  Sjos_guard.Budget.check budget ~during:"execute";
+  account_sort ~metrics (Array.length tuples);
   let sorted = Array.copy tuples in
   Array.stable_sort (Tuple.compare_by_slot doc by) sorted;
   sorted

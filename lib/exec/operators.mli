@@ -1,11 +1,19 @@
-(** The non-join physical operators: index scan and sort. *)
+(** The non-join physical operators: index scan and sort, in both the
+    classic tuple-array flavor and the columnar batch flavor. *)
 
 open Sjos_xml
+open Sjos_storage
 
 val index_scan :
   metrics:Metrics.t -> width:int -> slot:int -> Node.t array -> Tuple.t array
 (** Turn a document-ordered candidate array into single-binding tuples.
     Accounts one index item per candidate. *)
+
+val index_scan_batch :
+  metrics:Metrics.t -> width:int -> slot:int -> Element_index.columns -> Batch.t
+(** The columnar equivalent: binds the candidate [ids] column directly
+    into batch rows without materializing per-tuple arrays.  Same
+    accounting as {!index_scan}. *)
 
 val sort :
   ?budget:Sjos_guard.Budget.t ->
@@ -18,4 +26,28 @@ val sort :
     [by]; accounts [n log2 n] sort cost.  This is the blocking operator:
     plans that contain it cannot pipeline.  The budget's deadline and
     cancellation flag are checked once before sorting (the sort itself is
-    bounded by its already-materialized input). *)
+    bounded by its already-materialized input).  Since the batch engine,
+    keys are precomputed from the document's [starts] column and an index
+    permutation is sorted with a monomorphic int comparator — no
+    [Document.node] calls inside the comparator. *)
+
+val sort_batch :
+  ?budget:Sjos_guard.Budget.t ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  by:int ->
+  Batch.t ->
+  Batch.t
+(** {!sort} over a columnar batch ({!Batch.sort}); same accounting. *)
+
+val sort_legacy :
+  ?budget:Sjos_guard.Budget.t ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  by:int ->
+  Tuple.t array ->
+  Tuple.t array
+(** The pre-batch-engine sort: [Array.stable_sort] with a comparator that
+    dereferences [Document.node] per comparison.  Kept as the measured
+    baseline for [bench/bench_perf] and the legacy executor kernel; same
+    accounting as {!sort}. *)

@@ -1,53 +1,66 @@
 open Sjos_xml
 open Sjos_plan
 open Sjos_guard
+module Ibuf = Batch.Ibuf
 
-(* Consecutive tuples with the same node in the join slot form one group;
-   inputs sorted by the join node keep equal nodes adjacent. *)
-type group = { node : Node.t; tuples : Tuple.t list (* reversed; order irrelevant *) }
+(* Columnar Stack-Tree kernels.  The legacy group-list implementation is
+   preserved in {!Stack_tree_legacy}; this module must produce
+   bit-identical tuple sequences and counter totals (modulo
+   [skipped_items]) while touching only flat int arrays on the hot path. *)
 
-let group_by_slot doc tuples slot =
-  let groups = ref [] in
-  let current_id = ref min_int in
-  let current : Tuple.t list ref = ref [] in
-  let flush () =
-    if !current <> [] then begin
-      let node = Document.node doc !current_id in
-      groups := { node; tuples = !current } :: !groups
-    end
-  in
-  let last_start = ref (-1) in
-  Array.iter
-    (fun t ->
-      let id = Tuple.get t slot in
+(* ---------- grouping: batch rows -> flat group columns ---------- *)
+
+(* Consecutive rows with the same node in the join slot form one group;
+   [off] has [n + 1] meaningful entries delimiting each group's row
+   range.  The arrays are sized for the worst case (one group per row)
+   and filled in one pass — growth-free, so grouping costs a handful of
+   ns per input row; entries past [n] are unused. *)
+type groups = {
+  n : int;
+  off : int array;
+  gstart : int array;  (* join-node start positions, strictly increasing *)
+  gend : int array;
+  glevel : int array;
+}
+
+let group ~(cols : Document.columns) (b : Batch.t) slot =
+  let width = Batch.width b and data = Batch.data b and len = Batch.length b in
+  if len > 0 && (slot < 0 || slot >= width) then
+    invalid_arg "Stack_tree: join slot out of range";
+  let starts = cols.Document.starts
+  and ends = cols.Document.ends
+  and levels = cols.Document.levels in
+  let size = Array.length starts in
+  let off = Array.make (len + 1) 0
+  and gstart = Array.make len 0
+  and gend = Array.make len 0
+  and glevel = Array.make len 0 in
+  let n = ref 0 in
+  let current = ref min_int and last_start = ref (-1) in
+  for r = 0 to len - 1 do
+    let id = Array.unsafe_get data ((r * width) + slot) in
+    if id <> !current then begin
       if id = Tuple.unbound then
         invalid_arg "Stack_tree: join slot unbound in input tuple";
-      if id <> !current_id then begin
-        let start = (Document.node doc id).Node.start_pos in
-        if start < !last_start then
-          invalid_arg "Stack_tree: input not sorted by its join slot";
-        last_start := start;
-        flush ();
-        current_id := id;
-        current := [ t ]
-      end
-      else current := t :: !current)
-    tuples;
-  flush ();
-  Array.of_list (List.rev !groups)
+      if id < 0 || id >= size then
+        invalid_arg (Printf.sprintf "Document.node: id %d out of range" id);
+      let s = Array.unsafe_get starts id in
+      if s < !last_start then
+        invalid_arg "Stack_tree: input not sorted by its join slot";
+      last_start := s;
+      let k = !n in
+      Array.unsafe_set off k r;
+      Array.unsafe_set gstart k s;
+      Array.unsafe_set gend k (Array.unsafe_get ends id);
+      Array.unsafe_set glevel k (Array.unsafe_get levels id);
+      n := k + 1;
+      current := id
+    end
+  done;
+  off.(!n) <- len;
+  { n = !n; off; gstart; gend; glevel }
 
-let cross ~budget ~metrics ~count_io out_push a_tuples d_tuples =
-  List.iter
-    (fun ta ->
-      List.iter
-        (fun td ->
-          out_push (Tuple.merge ta td);
-          metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
-          Budget.check_tuples budget ~during:"execute"
-            ~count:metrics.Metrics.output_tuples;
-          if count_io then metrics.Metrics.io_items <- metrics.Metrics.io_items + 2)
-        d_tuples)
-    a_tuples
+(* ---------- shared merge machinery ---------- *)
 
 (* Deadline/cancellation polls in the merge loops are amortized: a clock
    read per descendant group would dominate small joins. *)
@@ -57,135 +70,416 @@ let poll_merge ~budget iters =
   incr iters;
   if !iters land poll_mask = 0 then Budget.check budget ~during:"execute"
 
-(* --- Stack-Tree-Desc: stream output in descendant order --------------- *)
+(* First index in [lo, hi) whose value is >= [target]; [hi] if none.
+   Exponential probe followed by binary search, so a jump over [d] items
+   costs O(log d) instead of O(d). *)
+let gallop (a : int array) lo hi target =
+  if lo >= hi || Array.unsafe_get a lo >= target then lo
+  else begin
+    let prev = ref lo and cur = ref (lo + 1) and step = ref 1 in
+    while !cur < hi && Array.unsafe_get a !cur < target do
+      prev := !cur;
+      step := !step * 2;
+      cur := !cur + !step
+    done;
+    let lo' = ref !prev and hi' = ref (min !cur hi) in
+    (* invariant: a.(!lo') < target, and either !hi' = hi or
+       a.(!hi') >= target *)
+    while !hi' - !lo' > 1 do
+      let mid = (!lo' + !hi') / 2 in
+      if Array.unsafe_get a mid < target then lo' := mid else hi' := mid
+    done;
+    !hi'
+  end
 
-let run_desc ~budget ~metrics ~axis anc_groups desc_groups =
-  let out = ref [] in
+(* Merge one ancestor row with one descendant row straight into [out] at
+   [obase], mirroring {!Tuple.merge} (including its error message). *)
+let merge_rows adata abase ddata dbase out obase width =
+  for k = 0 to width - 1 do
+    let x = Array.unsafe_get adata (abase + k) in
+    let y = Array.unsafe_get ddata (dbase + k) in
+    if x = Tuple.unbound then Array.unsafe_set out (obase + k) y
+    else if y = Tuple.unbound then Array.unsafe_set out (obase + k) x
+    else invalid_arg "Tuple.merge: slot bound on both sides"
+  done
+
+(* The Stack-Tree merge over group columns, with an explicit int-indexed
+   stack of ancestor group indices.  [emit g d] is called for every
+   related (ancestor group, descendant group) pair, bottom-to-top within
+   each descendant visit — exactly the legacy emission order.
+
+   Skip-ahead (the batch engine's win over the textbook loop):
+
+   - ancestor side: a group whose interval ends before the current
+     descendant group starts can never contain it, nor any later
+     descendant (their starts only grow).  The whole dead run is skipped
+     in one scan without materializing stack entries; the push+pop
+     accounting ([stack_ops]) is still charged so executed counters match
+     the legacy kernels bit-for-bit.
+
+   - descendant side: when the stack is empty, nothing can emit until
+     the next ancestor group opens at [ag.gstart.(ai)], so every
+     descendant group starting before it is galloped over (binary search
+     on the sorted start column).
+
+   Both skips are counted in [Metrics.skipped_items] (diagnostics only,
+   never priced by the cost model). *)
+let merge_loop ~budget ~metrics ~axis (ag : groups) (dg : groups) ~emit =
   let iters = ref 0 in
-  let stack = ref [] in
-  (* head = top; entries form a nested chain, innermost first *)
-  let pop_until start =
-    let rec go () =
-      match !stack with
-      | g :: rest when g.node.Node.end_pos < start ->
-          stack := rest;
-          go ()
-      | _ -> ()
-    in
-    go ()
+  let stack = ref (Array.make 64 0) in
+  let sp = ref 0 in
+  let push g =
+    if !sp = Array.length !stack then begin
+      let bigger = Array.make (2 * !sp) 0 in
+      Array.blit !stack 0 bigger 0 !sp;
+      stack := bigger
+    end;
+    Array.unsafe_set !stack !sp g;
+    incr sp
   in
-  let na = Array.length anc_groups and nd = Array.length desc_groups in
+  let pop_until start =
+    while
+      !sp > 0
+      && Array.unsafe_get ag.gend (Array.unsafe_get !stack (!sp - 1)) < start
+    do
+      decr sp
+    done
+  in
+  let is_child = match axis with Axes.Child -> true | Axes.Descendant -> false in
+  let na = ag.n and nd = dg.n in
   let ai = ref 0 and di = ref 0 in
   while !di < nd do
     poll_merge ~budget iters;
-    let d = desc_groups.(!di) in
-    if
-      !ai < na && anc_groups.(!ai).node.Node.start_pos < d.node.Node.start_pos
-    then begin
-      let a = anc_groups.(!ai) in
-      pop_until a.node.Node.start_pos;
-      metrics.Metrics.stack_ops <-
-        metrics.Metrics.stack_ops + (2 * List.length a.tuples);
-      stack := a :: !stack;
-      incr ai
+    let dstart = Array.unsafe_get dg.gstart !di in
+    if !ai < na && Array.unsafe_get ag.gstart !ai < dstart then begin
+      if Array.unsafe_get ag.gend !ai < dstart then begin
+        (* ancestor-side skip: dead run (validated documents guarantee
+           start < end, so end < dstart implies start < dstart) *)
+        let j = ref (!ai + 1) in
+        while !j < na && Array.unsafe_get ag.gend !j < dstart do
+          incr j
+        done;
+        let items = ag.off.(!j) - ag.off.(!ai) in
+        metrics.Metrics.stack_ops <- metrics.Metrics.stack_ops + (2 * items);
+        metrics.Metrics.skipped_items <-
+          metrics.Metrics.skipped_items + items;
+        ai := !j
+      end
+      else begin
+        let astart = Array.unsafe_get ag.gstart !ai in
+        pop_until astart;
+        metrics.Metrics.stack_ops <-
+          metrics.Metrics.stack_ops + (2 * (ag.off.(!ai + 1) - ag.off.(!ai)));
+        push !ai;
+        incr ai
+      end
     end
     else begin
-      pop_until d.node.Node.start_pos;
-      (* bottom-to-top = ancestor document order within this descendant *)
-      List.iter
-        (fun a ->
-          if Axes.related axis ~anc:a.node ~desc:d.node then
-            cross ~budget ~metrics ~count_io:false
-              (fun t -> out := t :: !out)
-              a.tuples d.tuples)
-        (List.rev !stack);
-      incr di
+      pop_until dstart;
+      if !sp = 0 then
+        (* descendant-side skip *)
+        if !ai >= na then begin
+          metrics.Metrics.skipped_items <-
+            metrics.Metrics.skipped_items + (dg.off.(nd) - dg.off.(!di));
+          di := nd
+        end
+        else begin
+          let j = gallop dg.gstart !di nd (Array.unsafe_get ag.gstart !ai) in
+          if j > !di then begin
+            metrics.Metrics.skipped_items <-
+              metrics.Metrics.skipped_items + (dg.off.(j) - dg.off.(!di));
+            di := j
+          end
+          else incr di
+        end
+      else begin
+        let dend = Array.unsafe_get dg.gend !di in
+        let dlevel = Array.unsafe_get dg.glevel !di in
+        (* bottom-to-top = ancestor document order within this descendant *)
+        for s = 0 to !sp - 1 do
+          let g = Array.unsafe_get !stack s in
+          if
+            dend < Array.unsafe_get ag.gend g
+            && Array.unsafe_get ag.gstart g < dstart
+            && ((not is_child) || dlevel = Array.unsafe_get ag.glevel g + 1)
+          then emit g !di
+        done;
+        incr di
+      end
     end
-  done;
-  Array.of_list (List.rev !out)
+  done
+
+(* --- Stack-Tree-Desc: stream output in descendant order --------------- *)
+
+let run_desc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+    (dg : groups) =
+  let cap = ref (max 16 (width * 64)) in
+  let out = ref (Array.make !cap Tuple.unbound) in
+  let out_len = ref 0 in
+  let limited = not (Budget.is_unlimited budget) in
+  let emit g d =
+    let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
+    let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
+    let need = npairs * width in
+    if !out_len + need > !cap then begin
+      while !out_len + need > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Array.make !cap Tuple.unbound in
+      Array.blit !out 0 bigger 0 !out_len;
+      out := bigger
+    end;
+    let buf = !out in
+    if limited then
+      (* slow path: legacy per-tuple budget-check timing, so a capped run
+         stops after exactly the same tuple as the legacy engine *)
+      for ar = a_lo to a_hi - 1 do
+        let abase = ar * width in
+        for dr = d_lo to d_hi - 1 do
+          merge_rows adata abase ddata (dr * width) buf !out_len width;
+          out_len := !out_len + width;
+          metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+          Budget.check_tuples budget ~during:"execute"
+            ~count:metrics.Metrics.output_tuples
+        done
+      done
+    else begin
+      let ol = ref !out_len in
+      for ar = a_lo to a_hi - 1 do
+        let abase = ar * width in
+        for dr = d_lo to d_hi - 1 do
+          merge_rows adata abase ddata (dr * width) buf !ol width;
+          ol := !ol + width
+        done
+      done;
+      out_len := !ol;
+      metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + npairs
+    end
+  in
+  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  let len = if width = 0 then 0 else !out_len / width in
+  Batch.unsafe_of_raw ~width ~len !out
 
 (* --- Stack-Tree-Anc: buffer pairs until the ancestor pops ------------- *)
 
-type anc_entry = {
-  group : group;
-  mutable self_rev : Tuple.t list;  (* pairs with this entry as ancestor *)
-  mutable inherit_chunks_rev : Tuple.t list list;
-      (* completed pair chunks from entries popped above this one; each
-         chunk is in final order, chunks in reverse arrival order *)
-}
-
-let run_anc ~budget ~metrics ~axis anc_groups desc_groups =
-  let out_chunks_rev = ref [] in
-  let iters = ref 0 in
-  let stack = ref [] in
-  let flush_entry e =
-    (* this entry's own pairs (in descendant arrival order) come first:
-       inherited chunks all have ancestors with larger start positions *)
-    let pairs =
-      List.rev e.self_rev @ List.concat (List.rev e.inherit_chunks_rev)
-    in
-    match !stack with
-    | [] -> if pairs <> [] then out_chunks_rev := pairs :: !out_chunks_rev
-    | top :: _ ->
-        if pairs <> [] then
-          top.inherit_chunks_rev <- pairs :: top.inherit_chunks_rev
-  in
-  let pop_until start =
-    let rec go () =
-      match !stack with
-      | e :: rest when e.group.node.Node.end_pos < start ->
-          stack := rest;
-          flush_entry e;
-          go ()
-      | _ -> ()
-    in
-    go ()
-  in
-  let na = Array.length anc_groups and nd = Array.length desc_groups in
-  let ai = ref 0 and di = ref 0 in
-  while !di < nd do
-    poll_merge ~budget iters;
-    let d = desc_groups.(!di) in
-    if
-      !ai < na && anc_groups.(!ai).node.Node.start_pos < d.node.Node.start_pos
-    then begin
-      let a = anc_groups.(!ai) in
-      pop_until a.node.Node.start_pos;
-      metrics.Metrics.stack_ops <-
-        metrics.Metrics.stack_ops + (2 * List.length a.tuples);
-      stack :=
-        { group = a; self_rev = []; inherit_chunks_rev = [] } :: !stack;
-      incr ai
-    end
+let run_anc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+    (dg : groups) =
+  (* Pairs are buffered as (anc group, anc row, desc row) triples in
+     generation order, then laid out by a stable counting sort on the anc
+     group index.  The legacy variant's self/inherit chunk chaining emits
+     exactly this order: all pairs of group [g] (in generation order)
+     before any pair of a later group.  Buffering |AB| pairs is what the
+     [2 |AB| f_IO] cost term prices, hence [io_items] at generation. *)
+  let pairs = Ibuf.create 256 in
+  let counts = Array.make ag.n 0 in
+  let limited = not (Budget.is_unlimited budget) in
+  let emit g d =
+    let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
+    let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
+    Ibuf.reserve pairs (3 * npairs);
+    if limited then
+      (* slow path: legacy per-tuple budget-check timing *)
+      for ar = a_lo to a_hi - 1 do
+        for dr = d_lo to d_hi - 1 do
+          Ibuf.push pairs g;
+          Ibuf.push pairs ar;
+          Ibuf.push pairs dr;
+          counts.(g) <- counts.(g) + 1;
+          metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+          Budget.check_tuples budget ~during:"execute"
+            ~count:metrics.Metrics.output_tuples;
+          metrics.Metrics.io_items <- metrics.Metrics.io_items + 2
+        done
+      done
     else begin
-      pop_until d.node.Node.start_pos;
-      List.iter
-        (fun e ->
-          if Axes.related axis ~anc:e.group.node ~desc:d.node then
-            cross ~budget ~metrics ~count_io:true
-              (fun t -> e.self_rev <- t :: e.self_rev)
-              e.group.tuples d.tuples)
-        !stack;
-      incr di
+      for ar = a_lo to a_hi - 1 do
+        for dr = d_lo to d_hi - 1 do
+          Ibuf.push pairs g;
+          Ibuf.push pairs ar;
+          Ibuf.push pairs dr
+        done
+      done;
+      counts.(g) <- counts.(g) + npairs;
+      metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + npairs;
+      metrics.Metrics.io_items <- metrics.Metrics.io_items + (2 * npairs)
     end
+  in
+  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  let npairs = Ibuf.length pairs / 3 in
+  let pos = Array.make ag.n 0 in
+  let acc = ref 0 in
+  for g = 0 to ag.n - 1 do
+    pos.(g) <- !acc;
+    acc := !acc + counts.(g)
   done;
-  (* drain the stack: innermost entries flush into the ones below *)
-  while !stack <> [] do
-    match !stack with
-    | e :: rest ->
-        stack := rest;
-        flush_entry e
-    | [] -> ()
+  let out = Array.make (npairs * width) Tuple.unbound in
+  let pdata = Ibuf.data pairs in
+  for p = 0 to npairs - 1 do
+    let g = Array.unsafe_get pdata (3 * p) in
+    let ar = Array.unsafe_get pdata ((3 * p) + 1) in
+    let dr = Array.unsafe_get pdata ((3 * p) + 2) in
+    let row = pos.(g) in
+    pos.(g) <- row + 1;
+    merge_rows adata (ar * width) ddata (dr * width) out (row * width) width
   done;
-  Array.of_list (List.concat (List.rev !out_chunks_rev))
+  Batch.unsafe_of_raw ~width ~len:npairs out
 
-let join ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
-    ~anc:(anc_tuples, anc_slot) ~desc:(desc_tuples, desc_slot) () =
+(* --- root variants: emit boxed tuples directly ----------------------- *)
+
+(* The last join of a plan is immediately converted to [Tuple.t array]
+   for the caller; materializing a flat batch first would pay for the
+   output twice (flat buffer with growth copies, then one boxed tuple
+   per row).  The root variants run the same grouping and skip-ahead
+   merge but build each output tuple in boxed form exactly once, like
+   the legacy kernels do — so the root join is never slower than legacy
+   and every interior operator keeps the columnar win. *)
+
+let merge_rows_boxed adata abase ddata dbase width =
+  let t = Array.make width Tuple.unbound in
+  for k = 0 to width - 1 do
+    let x = Array.unsafe_get adata (abase + k) in
+    let y = Array.unsafe_get ddata (dbase + k) in
+    if x = Tuple.unbound then Array.unsafe_set t k y
+    else if y = Tuple.unbound then Array.unsafe_set t k x
+    else invalid_arg "Tuple.merge: slot bound on both sides"
+  done;
+  t
+
+let run_desc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+    (dg : groups) =
+  let cap = ref 64 in
+  let out = ref (Array.make !cap ([||] : Tuple.t)) in
+  let out_len = ref 0 in
+  let limited = not (Budget.is_unlimited budget) in
+  let emit g d =
+    let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
+    let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
+    if !out_len + npairs > !cap then begin
+      while !out_len + npairs > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Array.make !cap ([||] : Tuple.t) in
+      Array.blit !out 0 bigger 0 !out_len;
+      out := bigger
+    end;
+    let buf = !out in
+    for ar = a_lo to a_hi - 1 do
+      let abase = ar * width in
+      for dr = d_lo to d_hi - 1 do
+        Array.unsafe_set buf !out_len
+          (merge_rows_boxed adata abase ddata (dr * width) width);
+        incr out_len;
+        metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+        if limited then
+          Budget.check_tuples budget ~during:"execute"
+            ~count:metrics.Metrics.output_tuples
+      done
+    done
+  in
+  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  Array.sub !out 0 !out_len
+
+let run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+    (dg : groups) =
+  let pairs = Ibuf.create 256 in
+  let counts = Array.make ag.n 0 in
+  let limited = not (Budget.is_unlimited budget) in
+  let emit g d =
+    let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
+    let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
+    Ibuf.reserve pairs (3 * npairs);
+    if limited then
+      (* slow path: legacy per-tuple budget-check timing *)
+      for ar = a_lo to a_hi - 1 do
+        for dr = d_lo to d_hi - 1 do
+          Ibuf.push pairs g;
+          Ibuf.push pairs ar;
+          Ibuf.push pairs dr;
+          counts.(g) <- counts.(g) + 1;
+          metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+          Budget.check_tuples budget ~during:"execute"
+            ~count:metrics.Metrics.output_tuples;
+          metrics.Metrics.io_items <- metrics.Metrics.io_items + 2
+        done
+      done
+    else begin
+      for ar = a_lo to a_hi - 1 do
+        for dr = d_lo to d_hi - 1 do
+          Ibuf.push pairs g;
+          Ibuf.push pairs ar;
+          Ibuf.push pairs dr
+        done
+      done;
+      counts.(g) <- counts.(g) + npairs;
+      metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + npairs;
+      metrics.Metrics.io_items <- metrics.Metrics.io_items + (2 * npairs)
+    end
+  in
+  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  let npairs = Ibuf.length pairs / 3 in
+  let pos = Array.make ag.n 0 in
+  let acc = ref 0 in
+  for g = 0 to ag.n - 1 do
+    pos.(g) <- !acc;
+    acc := !acc + counts.(g)
+  done;
+  let out = Array.make npairs ([||] : Tuple.t) in
+  let pdata = Ibuf.data pairs in
+  for p = 0 to npairs - 1 do
+    let g = Array.unsafe_get pdata (3 * p) in
+    let ar = Array.unsafe_get pdata ((3 * p) + 1) in
+    let dr = Array.unsafe_get pdata ((3 * p) + 2) in
+    let row = pos.(g) in
+    pos.(g) <- row + 1;
+    Array.unsafe_set out row
+      (merge_rows_boxed adata (ar * width) ddata (dr * width) width)
+  done;
+  out
+
+(* ---------- entry points ---------- *)
+
+let prepare ~doc ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) =
+  let width = Batch.width anc_b in
+  if Batch.width desc_b <> width then
+    invalid_arg "Stack_tree: input batch widths differ";
+  let cols = Document.columns doc in
+  let ag = group ~cols anc_b anc_slot in
+  let dg = group ~cols desc_b desc_slot in
+  (width, Batch.data anc_b, Batch.data desc_b, ag, dg)
+
+let join_batch ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
+    ~anc ~desc () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
-  let anc_groups = group_by_slot doc anc_tuples anc_slot in
-  let desc_groups = group_by_slot doc desc_tuples desc_slot in
+  let width, adata, ddata, ag, dg = prepare ~doc ~anc ~desc in
   match algo with
   | Plan.Stack_tree_desc ->
-      run_desc ~budget ~metrics ~axis anc_groups desc_groups
+      run_desc ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
   | Plan.Stack_tree_anc ->
-      run_anc ~budget ~metrics ~axis anc_groups desc_groups
+      run_anc ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
+
+let join_root ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
+    ~anc ~desc () =
+  metrics.Metrics.joins <- metrics.Metrics.joins + 1;
+  let width, adata, ddata, ag, dg = prepare ~doc ~anc ~desc in
+  match algo with
+  | Plan.Stack_tree_desc ->
+      run_desc_root ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
+  | Plan.Stack_tree_anc ->
+      run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
+
+let join ?budget ~metrics ~doc ~axis ~algo ~anc:(anc_tuples, anc_slot)
+    ~desc:(desc_tuples, desc_slot) () =
+  let width =
+    if Array.length anc_tuples > 0 then Array.length anc_tuples.(0)
+    else if Array.length desc_tuples > 0 then Array.length desc_tuples.(0)
+    else 0
+  in
+  let anc_b = Batch.of_tuples ~width anc_tuples in
+  let desc_b = Batch.of_tuples ~width desc_tuples in
+  Batch.to_tuples
+    (join_batch ?budget ~metrics ~doc ~axis ~algo ~anc:(anc_b, anc_slot)
+       ~desc:(desc_b, desc_slot) ())

@@ -1,5 +1,6 @@
 (** The Stack-Tree family of structural join algorithms
-    (Al-Khalifa et al., ICDE 2002), generalized to tuple inputs.
+    (Al-Khalifa et al., ICDE 2002), generalized to tuple inputs and
+    implemented as columnar batch kernels.
 
     Both variants merge two inputs sorted by the document order of their
     join nodes, maintaining an in-memory stack of nested ancestor-side
@@ -8,16 +9,65 @@
     - {b Stack-Tree-Desc} streams its output ordered by the descendant
       join node — no buffering at all;
     - {b Stack-Tree-Anc} produces output ordered by the ancestor join
-      node, which requires buffering result pairs in per-stack-entry
-      self/inherit lists until the ancestor is popped — the source of the
-      [2 |AB| f_IO] term in the cost model.
+      node, which requires buffering result pairs until the ancestor is
+      popped — the source of the [2 |AB| f_IO] term in the cost model.
 
-    Inputs are tuple arrays; consecutive tuples sharing the same join node
-    are processed as one group, so duplicate join-node values (the normal
-    case for intermediate results) are handled exactly. *)
+    The kernels operate over flat int columns ({!Batch.t} rows plus the
+    document's position columns): grouping, the merge stack and the
+    output are all reusable int arrays — no list conses on the hot path —
+    and the merge skips ahead over provably unproductive input runs
+    (galloping the descendant start column, batch-dropping dead ancestor
+    groups), counting what it skipped in {!Metrics.t.skipped_items}.
+    Outputs, orderings and all other counters are bit-identical to the
+    reference implementation kept in {!Stack_tree_legacy}.
+
+    Inputs sorted by their join node keep equal nodes adjacent;
+    consecutive rows sharing the join node are processed as one group, so
+    duplicate join-node values (the normal case for intermediate results)
+    are handled exactly. *)
 
 open Sjos_xml
 open Sjos_plan
+
+val join_batch :
+  ?budget:Sjos_guard.Budget.t ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  axis:Axes.axis ->
+  algo:Plan.algo ->
+  anc:Batch.t * int ->
+  desc:Batch.t * int ->
+  unit ->
+  Batch.t
+(** [join_batch ~metrics ~doc ~axis ~algo ~anc:(ba, sa) ~desc:(bd, sd) ()]
+    joins the rows of [ba] (whose slot [sa] holds the ancestor-side node,
+    sorted by it) with [bd] (slot [sd], sorted by it), returning merged
+    rows ordered by the ancestor (STJ-Anc) or descendant (STJ-Desc) node.
+    Raises [Invalid_argument] if an input is not sorted by its join slot,
+    a join slot is unbound, or the batch widths differ.
+
+    [budget] (default unlimited, zero-cost) is polled from the merge
+    loops: every produced tuple is checked against the materialization
+    ceiling, and the deadline/cancellation flag every 256 merge steps —
+    raising {!Sjos_guard.Budget.Exhausted} with the partial output count. *)
+
+val join_root :
+  ?budget:Sjos_guard.Budget.t ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  axis:Axes.axis ->
+  algo:Plan.algo ->
+  anc:Batch.t * int ->
+  desc:Batch.t * int ->
+  unit ->
+  Tuple.t array
+(** Same join as {!join_batch} — same inputs, same order, same counters —
+    but each output tuple is built in boxed form exactly once instead of
+    being written to a flat batch and converted afterwards.  Use for the
+    last join of a plan, whose result is handed to the caller as
+    [Tuple.t array] anyway: materializing the root output twice is pure
+    overhead, and for join-heavy patterns the root output dominates the
+    run. *)
 
 val join :
   ?budget:Sjos_guard.Budget.t ->
@@ -29,13 +79,6 @@ val join :
   desc:Tuple.t array * int ->
   unit ->
   Tuple.t array
-(** [join ~metrics ~doc ~axis ~algo ~anc:(ta, sa) ~desc:(td, sd) ()] joins the
-    tuples of [ta] (whose slot [sa] holds the ancestor-side node, sorted by
-    it) with [td] (slot [sd], sorted by it), returning merged tuples
-    ordered by the ancestor (STJ-Anc) or descendant (STJ-Desc) node.
-    Raises [Invalid_argument] if an input is not sorted by its join slot.
-
-    [budget] (default unlimited, zero-cost) is polled from the merge
-    loops: every produced tuple is checked against the materialization
-    ceiling, and the deadline/cancellation flag every 256 merge steps —
-    raising {!Sjos_guard.Budget.Exhausted} with the partial output count. *)
+(** {!join_batch} behind the classic tuple-array surface: inputs are
+    packed with {!Batch.of_tuples} and the result unpacked with
+    {!Batch.to_tuples}.  Same contract and same counters. *)

@@ -22,6 +22,7 @@ let rec groups doc slot (s : Tuple.t Seq.t) : group Seq.t =
         | tail -> (acc, fun () -> tail)
       in
       let tuples, rest = collect [ first ] rest in
+      let tuples = List.rev tuples (* in input order, like the kernels *) in
       Seq.Cons ({ node = Document.node doc id; tuples }, groups doc slot rest)
 
 let pop_until stack start =
@@ -152,10 +153,10 @@ let stream index pat plan =
           (fun node -> Tuple.singleton ~width i node)
           (Array.to_seq candidates)
     | Plan.Sort { input; by } ->
-        (* blocking: force the input *)
+        (* blocking: force the input; sort on a precomputed key column
+           (stable, so identical order to the in-place comparator sort) *)
         let materialized = Array.of_seq (eval input) in
-        Array.stable_sort (Tuple.compare_by_slot doc by) materialized;
-        Array.to_seq materialized
+        Array.to_seq (Batch.sort_tuples ~doc ~by materialized)
     | Plan.Structural_join { anc_side; desc_side; edge; algo } -> (
         let ags = groups doc edge.Pattern.anc (eval anc_side) in
         let dgs = groups doc edge.Pattern.desc (eval desc_side) in

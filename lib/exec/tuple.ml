@@ -11,16 +11,25 @@ let singleton ~width slot (node : Node.t) =
   t
 
 let get t slot = t.(slot)
+
+let unsafe_get t slot =
+  assert (slot >= 0 && slot < Array.length t);
+  Array.unsafe_get t slot
+
 let is_bound t slot = t.(slot) <> unbound
 
+(* Monomorphic int loop; no closure per slot. *)
 let merge a b =
   let width = Array.length a in
   if Array.length b <> width then invalid_arg "Tuple.merge: width mismatch";
-  Array.init width (fun i ->
-      match (a.(i), b.(i)) with
-      | x, y when x = unbound -> y
-      | x, y when y = unbound -> x
-      | _ -> invalid_arg "Tuple.merge: slot bound on both sides")
+  let out = Array.make width unbound in
+  for i = 0 to width - 1 do
+    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+    if x = unbound then Array.unsafe_set out i y
+    else if y = unbound then Array.unsafe_set out i x
+    else invalid_arg "Tuple.merge: slot bound on both sides"
+  done;
+  out
 
 let bound_mask t =
   let m = ref 0 in
@@ -34,9 +43,19 @@ let to_string t =
          (Array.map (fun v -> if v = unbound then "_" else string_of_int v) t))
   ^ ")"
 
-let equal = ( = )
+(* Monomorphic int-array comparison instead of polymorphic ( = ). *)
+let equal a b =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i =
+    i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  go 0
 
 let compare_by_slot doc slot a b =
-  compare
+  Int.compare
     (Document.node doc a.(slot)).Node.start_pos
     (Document.node doc b.(slot)).Node.start_pos

@@ -17,15 +17,24 @@ val singleton : width:int -> int -> Node.t -> t
 (** [singleton ~width slot node] binds exactly one slot. *)
 
 val get : t -> int -> int
+
+val unsafe_get : t -> int -> int
+(** Bounds-unchecked slot read for the batch kernels' hot loops; guarded
+    by an [assert] so debug builds still bounds-check. *)
+
 val is_bound : t -> int -> bool
 
 val merge : t -> t -> t
 (** Combine two tuples with disjoint bound slots.  Raises
-    [Invalid_argument] when a slot is bound on both sides. *)
+    [Invalid_argument] when a slot is bound on both sides.  Implemented
+    as a monomorphic int loop (no per-slot closure). *)
 
 val bound_mask : t -> int
 val to_string : t -> string
+
 val equal : t -> t -> bool
+(** Monomorphic int-array equality (not the polymorphic [( = )]). *)
+
 val compare_by_slot : Document.t -> int -> t -> t -> int
 (** Compare two tuples by the document order of the node bound in the given
     slot. *)

@@ -16,7 +16,29 @@ let matches spec (n : Node.t) =
      | None -> true)
   && match spec.text with Some s -> String.equal s n.Node.text | None -> true
 
-let select index spec =
+(* Single-pass count-and-fill: the filtered array is allocated at its
+   exact size, with no intermediate lists. *)
+let filter_nodes pred (base : Node.t array) =
+  let n = Array.length base in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if pred (Array.unsafe_get base i) then incr count
+  done;
+  if !count = n then base
+  else begin
+    let out = Array.make !count base.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let node = Array.unsafe_get base i in
+      if pred node then begin
+        Array.unsafe_set out !j node;
+        incr j
+      end
+    done;
+    out
+  end
+
+let base_and_residual index spec =
   let base =
     match (spec.tag, spec.attr) with
     | Some tag, Some (attr, value) ->
@@ -31,8 +53,23 @@ let select index spec =
     | Some _ -> { spec with attr = None }
     | None -> spec
   in
+  (base, residual)
+
+let select index spec =
+  let base, residual = base_and_residual index spec in
   if residual.attr = None && residual.text = None then base
-  else Array.of_list (List.filter (matches residual) (Array.to_list base))
+  else filter_nodes (matches residual) base
+
+let select_cols index spec =
+  let base, residual = base_and_residual index spec in
+  if residual.attr = None && residual.text = None then
+    match spec.tag with
+    | Some tag when spec.attr = None ->
+        (* the common case hits the per-tag column cache *)
+        Element_index.columns index tag
+    | _ -> Element_index.columns_of_nodes base
+  else
+    Element_index.columns_of_nodes (filter_nodes (matches residual) base)
 
 let spec_to_string spec =
   let tag = Option.value spec.tag ~default:"*" in

@@ -24,7 +24,13 @@ val matches : spec -> Node.t -> bool
 
 val select : Element_index.t -> spec -> Node.t array
 (** Document-ordered candidate array for a spec.  Tag lookups hit the
-    element index; attribute/text predicates filter the tag bucket. *)
+    element index; attribute/text predicates filter the tag bucket with a
+    single-pass count-and-fill (no intermediate lists). *)
+
+val select_cols : Element_index.t -> spec -> Element_index.columns
+(** Flat-column counterpart of {!select} for the batch execution engine.
+    Plain tag lookups reuse the per-tag column cache; residual predicates
+    filter then extract fresh columns. *)
 
 val spec_to_string : spec -> string
 val pp_spec : spec Fmt.t

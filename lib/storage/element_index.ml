@@ -1,11 +1,37 @@
 open Sjos_xml
 
+type columns = {
+  ids : int array;
+  starts : int array;
+  ends : int array;
+  levels : int array;
+}
+
 type t = {
   doc : Document.t;
   by_tag : (string, Node.t array) Hashtbl.t;
   (* (tag, attr) -> value -> sorted nodes; built lazily *)
   by_attr : (string * string, (string, Node.t array) Hashtbl.t) Hashtbl.t;
+  (* flat per-tag columns mirroring [by_tag]; built lazily *)
+  cols_by_tag : (string, columns) Hashtbl.t;
 }
+
+let columns_of_nodes (nodes : Node.t array) =
+  let n = Array.length nodes in
+  let ids = Array.make n 0
+  and starts = Array.make n 0
+  and ends = Array.make n 0
+  and levels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let node = Array.unsafe_get nodes i in
+    Array.unsafe_set ids i node.Node.id;
+    Array.unsafe_set starts i node.Node.start_pos;
+    Array.unsafe_set ends i node.Node.end_pos;
+    Array.unsafe_set levels i node.Node.level
+  done;
+  { ids; starts; ends; levels }
+
+let empty_columns = { ids = [||]; starts = [||]; ends = [||]; levels = [||] }
 
 let build doc =
   let buckets : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -21,10 +47,22 @@ let build doc =
   Hashtbl.iter
     (fun tag l -> Hashtbl.replace by_tag tag (Array.of_list (List.rev !l)))
     buckets;
-  { doc; by_tag; by_attr = Hashtbl.create 8 }
+  { doc; by_tag; by_attr = Hashtbl.create 8; cols_by_tag = Hashtbl.create 16 }
 
 let lookup t tag =
   match Hashtbl.find_opt t.by_tag tag with Some a -> a | None -> [||]
+
+let columns t tag =
+  match Hashtbl.find_opt t.cols_by_tag tag with
+  | Some c -> c
+  | None ->
+      let c =
+        match Hashtbl.find_opt t.by_tag tag with
+        | None -> empty_columns
+        | Some nodes -> columns_of_nodes nodes
+      in
+      Hashtbl.replace t.cols_by_tag tag c;
+      c
 
 let lookup_attr t ~tag ~attr ~value =
   let table =

@@ -11,12 +11,30 @@ open Sjos_xml
 
 type t
 
+type columns = {
+  ids : int array;
+  starts : int array;
+  ends : int array;
+  levels : int array;
+}
+(** Structure-of-arrays view of a candidate list, in document order:
+    row [i] describes the node [ids.(i)].  The batch join kernels merge
+    these flat int columns instead of chasing {!Node.t} records. *)
+
 val build : Document.t -> t
 (** Index every element of the document by tag. *)
 
 val lookup : t -> string -> Node.t array
 (** Sorted candidate array for a tag; the empty array for unknown tags.
     Callers must not mutate the result. *)
+
+val columns : t -> string -> columns
+(** Flat-column view of {!lookup}, built lazily per tag and cached.
+    Callers must not mutate the arrays. *)
+
+val columns_of_nodes : Node.t array -> columns
+(** Extract fresh columns from an arbitrary (document-ordered) candidate
+    array — the conversion for externally fetched or filtered streams. *)
 
 val lookup_attr : t -> tag:string -> attr:string -> value:string -> Node.t array
 (** Document-ordered elements with the given tag carrying [attr="value"].

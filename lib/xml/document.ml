@@ -1,4 +1,10 @@
-type t = { arr : Node.t array }
+type columns = {
+  starts : int array;
+  ends : int array;
+  levels : int array;
+}
+
+type t = { arr : Node.t array; mutable cols : columns option }
 
 let of_nodes arr =
   Array.iteri
@@ -8,7 +14,25 @@ let of_nodes arr =
           (Printf.sprintf "Document.of_nodes: node at index %d has id %d" i
              n.Node.id))
     arr;
-  { arr }
+  { arr; cols = None }
+
+let columns t =
+  match t.cols with
+  | Some c -> c
+  | None ->
+      let n = Array.length t.arr in
+      let starts = Array.make n 0
+      and ends = Array.make n 0
+      and levels = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let node = Array.unsafe_get t.arr i in
+        Array.unsafe_set starts i node.Node.start_pos;
+        Array.unsafe_set ends i node.Node.end_pos;
+        Array.unsafe_set levels i node.Node.level
+      done;
+      let c = { starts; ends; levels } in
+      t.cols <- Some c;
+      c
 
 let size t = Array.length t.arr
 

@@ -7,6 +7,16 @@
 
 type t
 
+type columns = {
+  starts : int array;  (** [starts.(id)] is [ (node t id).start_pos ] *)
+  ends : int array;  (** [ends.(id)] is [ (node t id).end_pos ] *)
+  levels : int array;  (** [levels.(id)] is [ (node t id).level ] *)
+}
+(** Structure-of-arrays view of the document, indexed by node id.  The
+    batch execution kernels compare machine integers read from these
+    columns instead of dereferencing {!Node.t} records on the join hot
+    path.  Callers must not mutate the arrays. *)
+
 val of_nodes : Node.t array -> t
 (** [of_nodes nodes] wraps a pre-order node array.  Raises
     [Invalid_argument] if ids are not consecutive from 0 or the interval
@@ -25,6 +35,10 @@ val root : t -> Node.t
 
 val nodes : t -> Node.t array
 (** The underlying pre-order array (do not mutate). *)
+
+val columns : t -> columns
+(** The flat positional columns, built once on first use and cached.
+    Do not mutate. *)
 
 val children : t -> Node.t -> Node.t list
 (** Direct element children, in document order. *)

@@ -9,6 +9,7 @@ let () =
       ("xpath", Test_xpath.suite);
       ("cost+plan", Test_cost_plan.suite);
       ("exec", Test_exec.suite);
+      ("batch", Test_batch.suite);
       ("optimizer", Test_optimizer.suite);
       ("datagen", Test_datagen.suite);
       ("engine", Test_engine.suite);
