@@ -1,0 +1,225 @@
+(* Parallel-vs-serial benchmark for the multicore query engine.
+
+   Runs the full eight-query workload (Workload.run_all: databases
+   built and warmed up front, queries fanned out across a domain pool,
+   large joins sharded inside the pool) serially and on pools of 1, 2
+   and 4 domains.  Before any number is reported, every parallel run is
+   verified bit-identical to the serial reference — same tuples, same
+   order, same executor counters including skipped_items — and the
+   Table 2 plan-space counters are re-checked against their exact
+   values, so a scheduling bug can never hide behind a throughput win.
+
+   Writes BENCH_PAR.json.  The >= 2x scaling gate at 4 domains is
+   enforced only when the host actually has >= 4 cores (the JSON always
+   records both the speedup and the core count, so CI enforces it and a
+   laptop run stays informative); the correctness gates are enforced
+   unconditionally.
+
+   Environment knobs:
+     SJOS_BENCH_SCALE  scale data set sizes (default 0.2; 1.0 = full)
+     SJOS_BENCH_REPS   timed repetitions per pool size (default 5)
+
+   Run with: dune exec bench/bench_par.exe *)
+
+open Sjos_engine
+open Sjos_exec
+module Pool = Sjos_par.Pool
+
+let scale =
+  match Sys.getenv_opt "SJOS_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.2)
+  | None -> 0.2
+
+let reps =
+  match Sys.getenv_opt "SJOS_BENCH_REPS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+let scaled base = max 500 (int_of_float (float_of_int base *. scale))
+
+let db_cache : (Workload.dataset, Database.t) Hashtbl.t = Hashtbl.create 4
+
+let db_for ds =
+  match Hashtbl.find_opt db_cache ds with
+  | Some db -> db
+  | None ->
+      let db =
+        Database.of_document
+          (Workload.generate ~size:(scaled (Workload.default_size ds)) ds)
+      in
+      Hashtbl.add db_cache ds db;
+      db
+
+let tuples_equal (a : Tuple.t array) (b : Tuple.t array) =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i t -> if not (Tuple.equal t b.(i)) then ok := false) a;
+  !ok
+
+(* Every field, skipped_items included: parallel shards must reproduce
+   the serial accounting exactly, not just the result set. *)
+let metrics_equal (a : Metrics.t) (b : Metrics.t) =
+  a.Metrics.index_items = b.Metrics.index_items
+  && a.Metrics.stack_ops = b.Metrics.stack_ops
+  && a.Metrics.io_items = b.Metrics.io_items
+  && a.Metrics.sorted_items = b.Metrics.sorted_items
+  && a.Metrics.output_tuples = b.Metrics.output_tuples
+  && a.Metrics.skipped_items = b.Metrics.skipped_items
+  && a.Metrics.joins = b.Metrics.joins
+  && a.Metrics.sorts = b.Metrics.sorts
+
+(* Cold options: every timed run re-optimizes and re-executes the same
+   work, and plans_considered stays comparable across runs. *)
+let opts = Query_opts.make ~use_cache:false ()
+
+let run_workload pool = Workload.run_all ~opts ~pool db_for
+
+let workload_identical reference run =
+  Array.length reference = Array.length run
+  && Array.for_all2
+       (fun ((q : Workload.query), (a : Database.query_run))
+            ((q' : Workload.query), (b : Database.query_run)) ->
+         String.equal q.Workload.id q'.Workload.id
+         && tuples_equal a.Database.exec.Executor.tuples
+              b.Database.exec.Executor.tuples
+         && metrics_equal a.Database.exec.Executor.metrics
+              b.Database.exec.Executor.metrics)
+       reference run
+
+let time_best pool =
+  let best = ref infinity in
+  let last = ref [||] in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let t0 = Sjos_obs.Clock.now_ns () in
+    last := run_workload pool;
+    let s = Sjos_obs.Clock.elapsed_seconds ~since:t0 in
+    if s < !best then best := s
+  done;
+  (!best, !last)
+
+type point = {
+  domains : int;
+  seconds : float;
+  speedup : float;
+  identical : bool;
+}
+
+let expected_considered =
+  [
+    ("DP", 520);
+    ("DPP'", 226);
+    ("DPP", 163);
+    ("DPAP-EB", 69);
+    ("DPAP-LD", 42);
+    ("FP", 18);
+  ]
+
+let () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "parallel workload engine: serial vs pooled (scale %.2f, best of %d, %d \
+     cores)\n"
+    scale reps cores;
+  (* correctness first: the serial reference every pool size must match *)
+  let serial_seconds, reference = time_best Pool.serial in
+  let points =
+    List.map
+      (fun domains ->
+        let pool = Pool.create ~domains () in
+        let seconds, run = time_best pool in
+        Pool.shutdown pool;
+        {
+          domains;
+          seconds;
+          speedup = serial_seconds /. seconds;
+          identical = workload_identical reference run;
+        })
+      [ 1; 2; 4 ]
+  in
+  Printf.printf "%-8s %12s %9s %10s\n" "domains" "seconds" "speedup"
+    "identical";
+  Printf.printf "%-8s %12.6f %9s %10s\n" "serial" serial_seconds "1.00x" "-";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8d %12.6f %8.2fx %10s\n" p.domains p.seconds p.speedup
+        (if p.identical then "yes" else "NO — MISMATCH"))
+    points;
+  (* Table 2 must come out exact on the parallel build: the paper's
+     plan-space counts are pure optimizer state and any drift means the
+     engine's bookkeeping was perturbed. *)
+  let table2 = Experiment.table2 () in
+  let counters_exact =
+    List.for_all
+      (fun (r : Experiment.table2_row) ->
+        match List.assoc_opt r.Experiment.algo_name expected_considered with
+        | Some n -> r.Experiment.considered = n
+        | None -> false)
+      table2
+    && List.length table2 = List.length expected_considered
+  in
+  Printf.printf "table2 plan counters exact (520/226/163/69/42/18): %s\n"
+    (if counters_exact then "yes" else "NO");
+  let all_identical = List.for_all (fun p -> p.identical) points in
+  let speedup_of d =
+    match List.find_opt (fun p -> p.domains = d) points with
+    | Some p -> p.speedup
+    | None -> 0.0
+  in
+  (* pool-of-1 routes through the pool machinery but must cost (almost)
+     nothing over the plain serial loop *)
+  let no_serial_regression = speedup_of 1 >= 0.8 in
+  let speedup_4x = speedup_of 4 >= 2.0 in
+  let scaling_gate_enforced = cores >= 4 in
+  let pass =
+    all_identical && counters_exact && no_serial_regression
+    && ((not scaling_gate_enforced) || speedup_4x)
+  in
+  let open Sjos_obs.Json in
+  let json =
+    Obj
+      [
+        ("scale", Float scale);
+        ("reps", Int reps);
+        ("cores", Int cores);
+        ("serial_seconds", Float serial_seconds);
+        ( "per_domain",
+          List
+            (List.map
+               (fun p ->
+                 Obj
+                   [
+                     ("domains", Int p.domains);
+                     ("seconds", Float p.seconds);
+                     ("speedup", Float p.speedup);
+                     ("identical", Bool p.identical);
+                   ])
+               points) );
+        ( "table2_considered",
+          Obj
+            (List.map
+               (fun (r : Experiment.table2_row) ->
+                 (r.Experiment.algo_name, Int r.Experiment.considered))
+               table2) );
+        ( "shape",
+          Obj
+            [
+              ("identical_outputs", Bool all_identical);
+              ("counters_exact", Bool counters_exact);
+              ("no_serial_regression", Bool no_serial_regression);
+              ("speedup_4x", Bool speedup_4x);
+              ("scaling_gate_enforced", Bool scaling_gate_enforced);
+              ("pass", Bool pass);
+            ] );
+      ]
+  in
+  Sjos_obs.Report.write_file "BENCH_PAR.json" json;
+  Printf.printf "wrote BENCH_PAR.json\n";
+  Printf.printf
+    "shape check: identical outputs, exact counters, no serial regression%s: \
+     %s\n"
+    (if scaling_gate_enforced then ", >=2x at 4 domains"
+     else " (scaling gate not enforced: <4 cores)")
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1

@@ -226,16 +226,29 @@ let grid_opt =
           "Per-query positional-histogram grid override (1-4096; out of \
            range is rejected with exit code 3).")
 
+let domains_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run the join kernels on a pool of N domains (results are \
+           bit-identical to serial).  Defaults to the SJOS_DOMAINS \
+           environment variable, or 1.")
+
 let query_cmd =
   let run pattern file algorithm limit show xpath trace json no_cache
-      deadline_ms max_expanded grid =
+      deadline_ms max_expanded grid domains =
     guarded @@ fun () ->
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
+    let pool = Option.map (fun n -> Sjos_par.Pool.create ~domains:n ()) domains in
+    Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
+    @@ fun () ->
     let opts =
       Query_opts.make ~algorithm ?max_tuples:limit ~use_cache:(not no_cache)
         ~budget:(budget_of deadline_ms max_expanded)
-        ?grid ()
+        ?grid ?pool ()
     in
     let (prep, run), report =
       with_obs ~trace (fun () ->
@@ -316,7 +329,7 @@ let query_cmd =
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
       $ trace_flag $ json_flag $ no_cache_flag $ deadline_opt
-      $ max_expanded_opt $ grid_opt)
+      $ max_expanded_opt $ grid_opt $ domains_opt)
 
 (* ---------- explain ---------- *)
 

@@ -7,6 +7,7 @@ type 'a node = {
 
 type 'a t = {
   capacity : int;
+  m : Mutex.t;  (* guards table and the recency list *)
   table : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;  (* most recently used *)
   mutable tail : 'a node option;  (* least recently used *)
@@ -14,10 +15,22 @@ type 'a t = {
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
-  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+  {
+    capacity;
+    m = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  let r = f () in
+  Mutex.unlock t.m;
+  r
 
 let capacity t = t.capacity
-let length t = Hashtbl.length t.table
+let length t = locked t (fun () -> Hashtbl.length t.table)
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
@@ -32,23 +45,26 @@ let push_front t n =
   t.head <- Some n
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> None
-  | Some n ->
-      unlink t n;
-      push_front t n;
-      Some n.value
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> None
+      | Some n ->
+          unlink t n;
+          push_front t n;
+          Some n.value)
 
-let mem t key = Hashtbl.mem t.table key
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
 
 let remove t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> ()
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.table key
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> ()
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.table key)
 
 let add t key value =
+  locked t (fun () ->
   match Hashtbl.find_opt t.table key with
   | Some n ->
       n.value <- value;
@@ -69,16 +85,18 @@ let add t key value =
       let n = { key; value; prev = None; next = None } in
       Hashtbl.replace t.table key n;
       push_front t n;
-      evicted
+      evicted)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
 
 let to_list t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some n -> go ((n.key, n.value) :: acc) n.next
-  in
-  go [] t.head
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go ((n.key, n.value) :: acc) n.next
+      in
+      go [] t.head)

@@ -3,7 +3,12 @@
     O(1) find/add/remove via a hash table over an intrusive doubly-linked
     recency list.  [find] and [add] both promote the entry to
     most-recently-used; inserting into a full cache evicts the
-    least-recently-used entry and reports its key.  Not thread-safe. *)
+    least-recently-used entry and reports its key.
+
+    Thread-safe: each operation is individually atomic (an internal
+    mutex guards the table and the recency list).  Compound
+    read-modify-write sequences still need external synchronization —
+    {!Plan_cache} provides it for the plan cache. *)
 
 type 'a t
 

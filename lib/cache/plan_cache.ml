@@ -16,6 +16,11 @@ type stats = {
 
 type t = {
   lru : stamped Lru.t;
+  (* Serializes compound operations (find-then-remove, add-then-count)
+     and the counters below, so a lookup's outcome and the counter it
+     bumps can never disagree under concurrency.  Always taken before
+     the Lru's own lock; never the other way around. *)
+  m : Mutex.t;
   mutable epoch : int;
   (* Always-on counters, mirrored into the Registry only when observability
      is enabled (the registry must stay empty in no-op mode). *)
@@ -28,6 +33,7 @@ type t = {
 let create ?(capacity = 256) () =
   {
     lru = Lru.create ~capacity;
+    m = Mutex.create ();
     epoch = 0;
     hits = 0;
     misses = 0;
@@ -35,54 +41,63 @@ let create ?(capacity = 256) () =
     invalidations = 0;
   }
 
+let locked t f =
+  Mutex.lock t.m;
+  let r = f () in
+  Mutex.unlock t.m;
+  r
+
 let observe name =
   if Registry.enabled () then Registry.incr (Registry.counter name)
 
-let epoch t = t.epoch
+let epoch t = locked t (fun () -> t.epoch)
 
 let bump_epoch t =
-  t.epoch <- t.epoch + 1;
+  let e = locked t (fun () -> t.epoch <- t.epoch + 1; t.epoch) in
   if Registry.enabled () then
-    Registry.set_gauge (Registry.gauge "plan_cache.epoch") (float_of_int t.epoch)
+    Registry.set_gauge (Registry.gauge "plan_cache.epoch") (float_of_int e)
 
 let find t key =
-  match Lru.find t.lru key with
-  | Some s when s.stamp = t.epoch ->
-      t.hits <- t.hits + 1;
-      observe "plan_cache.hits";
-      Some s.entry
-  | Some _ ->
-      (* Stale: stamped under an earlier epoch; drop it lazily. *)
-      Lru.remove t.lru key;
-      t.invalidations <- t.invalidations + 1;
-      t.misses <- t.misses + 1;
-      observe "plan_cache.invalidations";
-      observe "plan_cache.misses";
-      None
-  | None ->
-      t.misses <- t.misses + 1;
-      observe "plan_cache.misses";
-      None
+  locked t (fun () ->
+      match Lru.find t.lru key with
+      | Some s when s.stamp = t.epoch ->
+          t.hits <- t.hits + 1;
+          observe "plan_cache.hits";
+          Some s.entry
+      | Some _ ->
+          (* Stale: stamped under an earlier epoch; drop it lazily. *)
+          Lru.remove t.lru key;
+          t.invalidations <- t.invalidations + 1;
+          t.misses <- t.misses + 1;
+          observe "plan_cache.invalidations";
+          observe "plan_cache.misses";
+          None
+      | None ->
+          t.misses <- t.misses + 1;
+          observe "plan_cache.misses";
+          None)
 
 let add t key entry =
-  match Lru.add t.lru key { entry; stamp = t.epoch } with
-  | Some _evicted ->
-      t.evictions <- t.evictions + 1;
-      observe "plan_cache.evictions"
-  | None -> ()
+  locked t (fun () ->
+      match Lru.add t.lru key { entry; stamp = t.epoch } with
+      | Some _evicted ->
+          t.evictions <- t.evictions + 1;
+          observe "plan_cache.evictions"
+      | None -> ())
 
-let clear t = Lru.clear t.lru
+let clear t = locked t (fun () -> Lru.clear t.lru)
 
 let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    invalidations = t.invalidations;
-    entries = Lru.length t.lru;
-    capacity = Lru.capacity t.lru;
-    epoch = t.epoch;
-  }
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        entries = Lru.length t.lru;
+        capacity = Lru.capacity t.lru;
+        epoch = t.epoch;
+      })
 
 let stats_to_json (s : stats) =
   Json.Obj

@@ -15,7 +15,11 @@
     Hit/miss/eviction/invalidation counters are always maintained locally
     (readable via {!stats}) and additionally mirrored into
     {!Sjos_obs.Registry} counters ([plan_cache.hits] etc.) when the registry
-    is enabled; when it is disabled no instrument is ever registered. *)
+    is enabled; when it is disabled no instrument is ever registered.
+
+    Thread-safe: every operation (including the compound
+    lookup-invalidate path) runs under an internal mutex, so counters
+    always agree with outcomes and [stats] snapshots are consistent. *)
 
 type entry = {
   plan_text : string;  (** [Plan_io] serialization in canonical numbering *)

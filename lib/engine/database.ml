@@ -13,7 +13,11 @@ open Sjos_guard
 type t = {
   doc : Document.t;
   index : Element_index.t;
-  stats : Stats.t Lazy.t;
+  (* Not a [Lazy.t]: forcing a lazy from two domains at once raises
+     [CamlinternalLazy.Undefined] in one of them.  A mutex-guarded memo
+     gives the same compute-once behavior safely. *)
+  stats_m : Mutex.t;
+  mutable stats_v : Stats.t option;
   mutable factors : Cost_model.factors;
   mutable grid : int;
   plan_cache : Plan_cache.t;
@@ -35,7 +39,8 @@ let of_document ?(factors = Cost_model.default) ?(grid = 32)
   {
     doc;
     index = Element_index.build doc;
-    stats = lazy (Stats.compute doc);
+    stats_m = Mutex.create ();
+    stats_v = None;
     factors;
     grid;
     plan_cache = Plan_cache.create ~capacity:cache_capacity ();
@@ -49,7 +54,26 @@ let load_file ?factors ?grid ?cache_capacity p =
 
 let document t = t.doc
 let index t = t.index
-let stats t = Lazy.force t.stats
+
+let stats t =
+  Mutex.lock t.stats_m;
+  let s =
+    match t.stats_v with
+    | Some s -> s
+    | None ->
+        let s = Stats.compute t.doc in
+        t.stats_v <- Some s;
+        s
+  in
+  Mutex.unlock t.stats_m;
+  s
+
+(* Build every lazily cached read-side structure up front, so that
+   queries fanned out across domains afterwards touch only read paths. *)
+let warm t =
+  ignore (Document.columns t.doc);
+  Element_index.warm t.index;
+  ignore (stats t)
 let factors t = t.factors
 let grid t = t.grid
 let plan_cache t = t.plan_cache
@@ -172,6 +196,7 @@ type prepared = {
   pcanon : Pattern.t;
   pto_canon : int -> int;
   pfrom_canon : int -> int;
+  pchaos : Chaos.t option;
   mutable pprovider : Costing.provider;
   mutable presult : Optimizer.result;
   mutable pcached : bool;
@@ -179,15 +204,18 @@ type prepared = {
 }
 
 (* Fault injection hooks in at the two trust boundaries: the cardinality
-   provider (lies) and the candidate streams (truncation / disorder). *)
-let opts_provider t (opts : Query_opts.t) pat =
+   provider (lies) and the candidate streams (truncation / disorder).
+   The caller's chaos instance is never drawn from directly: [prepare]
+   derives an independent child stream keyed on the query fingerprint
+   ({!Chaos.derive}), so which faults a query sees is a function of
+   (seed, query) alone — not of how many queries ran before it, nor of
+   the domain scheduling of a parallel workload. *)
+let chaos_provider t ~(opts : Query_opts.t) ~chaos pat =
   let p = provider_with t ~grid:(eff_grid t opts) pat in
-  match opts.Query_opts.chaos with
-  | Some c -> Chaos.wrap_provider c p
-  | None -> p
+  match chaos with Some c -> Chaos.wrap_provider c p | None -> p
 
-let opts_fetch t (opts : Query_opts.t) =
-  match opts.Query_opts.chaos with
+let chaos_fetch t chaos =
+  match chaos with
   | Some c ->
       Some (fun spec -> Chaos.wrap_candidates c (Candidate.select t.index spec))
   | None -> None
@@ -199,8 +227,13 @@ let prepare ?(opts = Query_opts.default) t pat =
   let to_canon i = mapping.(i) in
   let from_canon i = inverse.(i) in
   let fingerprint = Fingerprint.fingerprint pat in
+  let chaos =
+    Option.map
+      (fun c -> Chaos.derive c ~key:fingerprint)
+      opts.Query_opts.chaos
+  in
   let key = cache_key t opts ~fingerprint in
-  let provider = opts_provider t opts pat in
+  let provider = chaos_provider t ~opts ~chaos pat in
   let result, cached =
     resolve t ~opts ~pat ~canon ~from_canon ~to_canon ~key ~provider
   in
@@ -213,6 +246,7 @@ let prepare ?(opts = Query_opts.default) t pat =
     pcanon = canon;
     pto_canon = to_canon;
     pfrom_canon = from_canon;
+    pchaos = chaos;
     pprovider = provider;
     presult = result;
     pcached = cached;
@@ -226,7 +260,7 @@ let refresh p =
   let t = p.pdb in
   let epoch = Plan_cache.epoch t.plan_cache in
   if epoch <> p.pepoch then begin
-    p.pprovider <- opts_provider t p.popts p.ppattern;
+    p.pprovider <- chaos_provider t ~opts:p.popts ~chaos:p.pchaos p.ppattern;
     let result, cached =
       resolve t ~opts:p.popts ~pat:p.ppattern ~canon:p.pcanon
         ~from_canon:p.pfrom_canon ~to_canon:p.pto_canon ~key:p.pkey
@@ -249,8 +283,9 @@ let prepared_from_cache p = p.pcached
 
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
-let execute_plan ?budget ?max_tuples t pat plan =
-  Executor.execute ~factors:t.factors ?budget ?max_tuples t.index pat plan
+let execute_plan ?budget ?max_tuples ?pool t pat plan =
+  Executor.execute ~factors:t.factors ?budget ?max_tuples ?pool t.index pat
+    plan
 
 let exec p =
   refresh p;
@@ -260,7 +295,8 @@ let exec p =
       ~factors:(eff_factors t p.popts)
       ~budget:p.popts.Query_opts.budget
       ?max_tuples:p.popts.Query_opts.max_tuples
-      ?fetch:(opts_fetch t p.popts) t.index p.ppattern
+      ?fetch:(chaos_fetch t p.pchaos)
+      ?pool:p.popts.Query_opts.pool t.index p.ppattern
       p.presult.Optimizer.plan
   in
   { opt = p.presult; exec }

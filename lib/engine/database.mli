@@ -59,7 +59,17 @@ val load_file :
 
 val document : t -> Document.t
 val index : t -> Element_index.t
+
 val stats : t -> Stats.t
+(** Document statistics, computed once on first use (mutex-guarded memo —
+    safe to race from several domains). *)
+
+val warm : t -> unit
+(** Pre-build every lazily cached read-side structure (document position
+    columns, per-tag candidate columns, statistics), so queries fanned
+    out across domains afterwards touch only read paths.  Idempotent;
+    purely a scheduling hint — parallel queries are correct without it. *)
+
 val factors : t -> Sjos_cost.Cost_model.factors
 val grid : t -> int
 
@@ -92,7 +102,15 @@ type prepared
 val prepare : ?opts:Query_opts.t -> t -> Pattern.t -> prepared
 (** Canonicalize, fingerprint and optimize (through the plan cache when
     [opts.use_cache], the default).  [opts] defaults to
-    {!Query_opts.default}. *)
+    {!Query_opts.default}.
+
+    When [opts.chaos] is set, the query does not draw faults from the
+    caller's instance directly: an independent child stream is derived
+    from it, keyed on the query fingerprint
+    ({!Sjos_guard.Chaos.derive}), so the faults a query sees depend only
+    on (seed, query) — replayable regardless of query order or of the
+    domain scheduling of a parallel workload.  Injection totals still
+    accumulate on the caller's instance. *)
 
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
@@ -133,6 +151,7 @@ val run : ?opts:Query_opts.t -> t -> Pattern.t -> query_run
 val execute_plan :
   ?budget:Sjos_guard.Budget.t ->
   ?max_tuples:int ->
+  ?pool:Sjos_par.Pool.t ->
   t ->
   Pattern.t ->
   Sjos_plan.Plan.t ->

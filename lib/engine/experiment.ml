@@ -98,6 +98,15 @@ let database_for ?sizes ds =
       Hashtbl.add database_cache (ds, size) db;
       db
 
+(* The parallel workload driver: resolve (and cache) the databases on
+   the calling domain — [database_cache] is a plain Hashtbl — then hand
+   the fan-out to [Workload.run_all]. *)
+let run_workload ?sizes ?opts ?pool () =
+  let dbs =
+    List.map (fun ds -> (ds, database_for ?sizes ds)) Workload.all_datasets
+  in
+  Workload.run_all ?opts ?pool (fun ds -> List.assoc ds dbs)
+
 let table1 ?sizes ?max_tuples () =
   List.map
     (fun (query : Workload.query) ->

@@ -37,6 +37,17 @@ val bad_plan_cell :
     plans.  If execution exceeds [max_tuples], [eval_units] is the
     cost-model estimate instead and [matches] is [-1]. *)
 
+val run_workload :
+  ?sizes:(Workload.dataset -> int) ->
+  ?opts:Query_opts.t ->
+  ?pool:Sjos_par.Pool.t ->
+  unit ->
+  (Workload.query * Database.query_run) array
+(** All eight workload queries through {!Workload.run_all}: databases
+    are resolved (and cached) serially on the calling domain, then the
+    queries fan out across the pool.  Results are in workload order and
+    bit-identical to a serial run for every pool size. *)
+
 (** {1 Table 1} — plan quality and optimization time, 8 queries × 5
     algorithms + bad plan *)
 

@@ -10,6 +10,7 @@ type t = {
   grid : int option;
   budget : Budget.t;
   chaos : Chaos.t option;
+  pool : Sjos_par.Pool.t option;
 }
 
 let default =
@@ -21,11 +22,12 @@ let default =
     grid = None;
     budget = Budget.unlimited;
     chaos = None;
+    pool = None;
   }
 
 let make ?(algorithm = Optimizer.Dpp) ?max_tuples ?(use_cache = true) ?factors
-    ?grid ?(budget = Budget.unlimited) ?chaos () =
-  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos }
+    ?grid ?(budget = Budget.unlimited) ?chaos ?pool () =
+  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos; pool }
 
 let with_algorithm t algorithm = { t with algorithm }
 let with_max_tuples t max_tuples = { t with max_tuples }
@@ -34,6 +36,7 @@ let with_factors t factors = { t with factors }
 let with_grid t grid = { t with grid }
 let with_budget t budget = { t with budget }
 let with_chaos t chaos = { t with chaos }
+let with_pool t pool = { t with pool }
 let cold t = { t with use_cache = false }
 
 let to_json t =
@@ -50,10 +53,14 @@ let to_json t =
         else Budget.to_json t.budget );
       ( "chaos",
         match t.chaos with Some c -> Chaos.to_json c | None -> Json.Null );
+      ( "domains",
+        match t.pool with
+        | Some p -> Json.Int (Sjos_par.Pool.size p)
+        | None -> Json.Null );
     ]
 
 let pp ppf t =
-  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s}"
+  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s%s}"
     (Optimizer.name t.algorithm)
     Fmt.(option ~none:(any "none") int)
     t.max_tuples t.use_cache
@@ -63,4 +70,7 @@ let pp ppf t =
      else Fmt.str "; budget=%a" Budget.pp t.budget)
     (match t.chaos with
     | Some c -> Fmt.str "; %a" Chaos.pp c
+    | None -> "")
+    (match t.pool with
+    | Some p -> Fmt.str "; domains=%d" (Sjos_par.Pool.size p)
     | None -> "")

@@ -23,6 +23,11 @@ type t = {
   chaos : Sjos_guard.Chaos.t option;
       (** seeded fault injection into candidate streams and cardinality
           estimates — testing only; disables plan caching *)
+  pool : Sjos_par.Pool.t option;
+      (** domain pool the join kernels shard large joins over; [None]
+          (the default) falls back to {!Sjos_par.Pool.get_default},
+          which is serial unless [SJOS_DOMAINS] says otherwise.
+          Results are bit-identical for every pool size. *)
 }
 
 val default : t
@@ -37,6 +42,7 @@ val make :
   ?grid:int ->
   ?budget:Sjos_guard.Budget.t ->
   ?chaos:Sjos_guard.Chaos.t ->
+  ?pool:Sjos_par.Pool.t ->
   unit ->
   t
 
@@ -47,6 +53,7 @@ val with_factors : t -> Sjos_cost.Cost_model.factors option -> t
 val with_grid : t -> int option -> t
 val with_budget : t -> Sjos_guard.Budget.t -> t
 val with_chaos : t -> Sjos_guard.Chaos.t option -> t
+val with_pool : t -> Sjos_par.Pool.t option -> t
 
 val cold : t -> t
 (** The same options with caching off — always a fresh optimizer search. *)

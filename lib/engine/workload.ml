@@ -44,3 +44,30 @@ let find id = List.find (fun query -> String.equal query.id id) queries
 let q_pers_3_d = find "Q.Pers.3.d"
 
 let run ?opts db query = Database.run ?opts db query.pattern
+
+(* Inter-query parallelism: the eight queries are independent, so they
+   fan out across the pool, one task per query, and come back in query
+   order (Pool.run is index-ordered) — the output is identical to the
+   serial loop no matter how the domains interleave.  Databases are
+   obtained and warmed serially first: [db_for] may build/cache them
+   (not thread-safe), and warming moves every lazily built read-side
+   structure out of the racy window.  The queries themselves also carry
+   the pool, so a query large enough to shard its joins uses the same
+   domains — nested parallelism degrades to serial inside a worker
+   rather than deadlocking. *)
+let run_all ?(opts = Query_opts.default) ?pool db_for =
+  let pool =
+    match (pool, opts.Query_opts.pool) with
+    | Some p, _ -> p
+    | None, Some p -> p
+    | None, None -> Sjos_par.Pool.get_default ()
+  in
+  let qs = Array.of_list queries in
+  let dbs = Array.map (fun q -> db_for q.dataset) qs in
+  Array.iter Database.warm dbs;
+  let opts = Query_opts.with_pool opts (Some pool) in
+  let runs =
+    Sjos_par.Pool.run pool (Array.length qs) (fun i ->
+        Database.run ~opts dbs.(i) qs.(i).pattern)
+  in
+  Array.mapi (fun i r -> (qs.(i), r)) runs

@@ -38,3 +38,19 @@ val run : ?opts:Query_opts.t -> Database.t -> query -> Database.query_run
 (** Prepare and execute a workload query ([opts] defaults to
     {!Query_opts.default}); repeated runs of the same query structure hit
     the database's plan cache. *)
+
+val run_all :
+  ?opts:Query_opts.t ->
+  ?pool:Sjos_par.Pool.t ->
+  (dataset -> Database.t) ->
+  (query * Database.query_run) array
+(** Run all eight queries, fanned out across the pool (one task per
+    query) — results come back in {!queries} order regardless of domain
+    scheduling, and each run's tuples and metrics are bit-identical to
+    the serial loop.  [db_for] is called, and the databases warmed
+    ({!Database.warm}), serially before the fan-out.  [pool] defaults to
+    [opts.pool], then {!Sjos_par.Pool.get_default}; the queries carry
+    the same pool, so large joins inside a single query shard over idle
+    domains too.  An exception from any query (budget exhaustion, a
+    chaos fault) is re-raised deterministically: lowest query index
+    wins. *)

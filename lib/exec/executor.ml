@@ -76,11 +76,17 @@ type 'r engine = {
 }
 
 let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
-    ?max_tuples ?fetch ?(kernel = `Columnar) index pat plan =
+    ?max_tuples ?fetch ?(kernel = `Columnar) ?pool index pat plan =
   (match Properties.validate pat plan with
   | Ok () -> ()
   | Error msg -> Error.fail (Error.Invalid_plan msg));
   let budget = Budget.cap_tuples budget max_tuples in
+  (* No explicit pool means the process-wide default, sized by
+     SJOS_DOMAINS (size 1 unless the environment asks for more — the
+     kernels then take their serial path unchanged). *)
+  let pool =
+    match pool with Some p -> p | None -> Sjos_par.Pool.get_default ()
+  in
   let doc = Element_index.document index in
   let width = Pattern.node_count pat in
   let metrics = Metrics.create () in
@@ -199,13 +205,13 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
               (fun own by b -> Operators.sort_batch ~budget ~metrics:own ~doc ~by b);
             join_op =
               (fun own edge algo a d ->
-                Stack_tree.join_batch ~budget ~metrics:own ~doc
+                Stack_tree.join_batch ~budget ~pool ~metrics:own ~doc
                   ~axis:edge.Pattern.axis ~algo
                   ~anc:(a, edge.Pattern.anc)
                   ~desc:(d, edge.Pattern.desc) ());
             root_join =
               (fun own edge algo a d ->
-                Stack_tree.join_root ~budget ~metrics:own ~doc
+                Stack_tree.join_root ~budget ~pool ~metrics:own ~doc
                   ~axis:edge.Pattern.axis ~algo
                   ~anc:(a, edge.Pattern.anc)
                   ~desc:(d, edge.Pattern.desc) ());

@@ -31,11 +31,19 @@ val execute :
   ?max_tuples:int ->
   ?fetch:(Candidate.spec -> Sjos_xml.Node.t array) ->
   ?kernel:kernel ->
+  ?pool:Sjos_par.Pool.t ->
   Element_index.t ->
   Pattern.t ->
   Plan.t ->
   run
 (** Execute a plan under a resource budget.
+
+    [pool] supplies the domain pool the columnar join kernels shard
+    large joins over (see {!Stack_tree.join_batch}); it defaults to
+    {!Sjos_par.Pool.get_default}, whose size is read from the
+    [SJOS_DOMAINS] environment variable (1 when unset — fully serial).
+    Results are bit-identical for every pool size.  The [`Legacy]
+    kernel ignores it.
 
     Failure modes are structured: an invalid plan raises
     [Sjos_guard.Error.Error (Invalid_plan _)]; exhausting the budget —

@@ -2,11 +2,21 @@ open Sjos_xml
 open Sjos_plan
 open Sjos_guard
 module Ibuf = Batch.Ibuf
+module Pool = Sjos_par.Pool
+module Shard = Sjos_par.Shard
 
 (* Columnar Stack-Tree kernels.  The legacy group-list implementation is
    preserved in {!Stack_tree_legacy}; this module must produce
    bit-identical tuple sequences and counter totals (modulo
-   [skipped_items]) while touching only flat int arrays on the hot path. *)
+   [skipped_items]) while touching only flat int arrays on the hot path.
+
+   With a domain pool, the join is additionally range-partitioned on the
+   ancestor group column at forest-closed cut points (no ancestor
+   interval straddles a cut — {!Sjos_par.Shard.cut_points}), each shard
+   runs the identical serial kernel over its slice, and shard outputs
+   are concatenated in shard order.  Sharding is output- and
+   counter-preserving by construction, not by sampling: see the
+   [~drain] accounting in {!merge_loop}. *)
 
 (* ---------- grouping: batch rows -> flat group columns ---------- *)
 
@@ -59,6 +69,18 @@ let group ~(cols : Document.columns) (b : Batch.t) slot =
   done;
   off.(!n) <- len;
   { n = !n; off; gstart; gend; glevel }
+
+(* Groups [lo, hi) as a shard-local view.  Row offsets stay absolute
+   (they index the shared batch data), only the group indexing is
+   rebased. *)
+let sub_groups (g : groups) lo hi =
+  {
+    n = hi - lo;
+    off = Array.sub g.off lo (hi - lo + 1);
+    gstart = Array.sub g.gstart lo (hi - lo);
+    gend = Array.sub g.gend lo (hi - lo);
+    glevel = Array.sub g.glevel lo (hi - lo);
+  }
 
 (* ---------- shared merge machinery ---------- *)
 
@@ -123,8 +145,18 @@ let merge_rows adata abase ddata dbase out obase width =
      on the sorted start column).
 
    Both skips are counted in [Metrics.skipped_items] (diagnostics only,
-   never priced by the cost model). *)
-let merge_loop ~budget ~metrics ~axis (ag : groups) (dg : groups) ~emit =
+   never priced by the cost model).
+
+   [drain]: sharded runs set it on every shard that has descendant
+   groups after its own slice.  Ancestor groups left over when the
+   shard's descendants run out are then charged as a dead run
+   ([stack_ops] push+pop and [skipped_items]), because that is exactly
+   what the serial merge does to them when the first later descendant
+   becomes current — every leftover group's interval ends before the
+   next cut, hence before any later descendant's start.  The serial
+   (unsharded) call passes [drain:false]: with no later descendants the
+   serial loop leaves those groups untouched, and so do we. *)
+let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
   let iters = ref 0 in
   let stack = ref (Array.make 64 0) in
   let sp = ref 0 in
@@ -207,11 +239,16 @@ let merge_loop ~budget ~metrics ~axis (ag : groups) (dg : groups) ~emit =
         incr di
       end
     end
-  done
+  done;
+  if drain && !ai < na then begin
+    let items = ag.off.(na) - ag.off.(!ai) in
+    metrics.Metrics.stack_ops <- metrics.Metrics.stack_ops + (2 * items);
+    metrics.Metrics.skipped_items <- metrics.Metrics.skipped_items + items
+  end
 
 (* --- Stack-Tree-Desc: stream output in descendant order --------------- *)
 
-let run_desc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+let run_desc ~budget ~metrics ~axis ~drain ~width ~adata ~ddata (ag : groups)
     (dg : groups) =
   let cap = ref (max 16 (width * 64)) in
   let out = ref (Array.make !cap Tuple.unbound) in
@@ -257,13 +294,13 @@ let run_desc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
       metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + npairs
     end
   in
-  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  merge_loop ~budget ~metrics ~axis ~drain ag dg ~emit;
   let len = if width = 0 then 0 else !out_len / width in
   Batch.unsafe_of_raw ~width ~len !out
 
 (* --- Stack-Tree-Anc: buffer pairs until the ancestor pops ------------- *)
 
-let run_anc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
+let run_anc ~budget ~metrics ~axis ~drain ~width ~adata ~ddata (ag : groups)
     (dg : groups) =
   (* Pairs are buffered as (anc group, anc row, desc row) triples in
      generation order, then laid out by a stable counting sort on the anc
@@ -306,7 +343,7 @@ let run_anc ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
       metrics.Metrics.io_items <- metrics.Metrics.io_items + (2 * npairs)
     end
   in
-  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  merge_loop ~budget ~metrics ~axis ~drain ag dg ~emit;
   let npairs = Ibuf.length pairs / 3 in
   let pos = Array.make ag.n 0 in
   let acc = ref 0 in
@@ -347,8 +384,8 @@ let merge_rows_boxed adata abase ddata dbase width =
   done;
   t
 
-let run_desc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
-    (dg : groups) =
+let run_desc_root ~budget ~metrics ~axis ~drain ~width ~adata ~ddata
+    (ag : groups) (dg : groups) =
   let cap = ref 64 in
   let out = ref (Array.make !cap ([||] : Tuple.t)) in
   let out_len = ref 0 in
@@ -379,11 +416,11 @@ let run_desc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
       done
     done
   in
-  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  merge_loop ~budget ~metrics ~axis ~drain ag dg ~emit;
   Array.sub !out 0 !out_len
 
-let run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
-    (dg : groups) =
+let run_anc_root ~budget ~metrics ~axis ~drain ~width ~adata ~ddata
+    (ag : groups) (dg : groups) =
   let pairs = Ibuf.create 256 in
   let counts = Array.make ag.n 0 in
   let limited = not (Budget.is_unlimited budget) in
@@ -419,7 +456,7 @@ let run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
       metrics.Metrics.io_items <- metrics.Metrics.io_items + (2 * npairs)
     end
   in
-  merge_loop ~budget ~metrics ~axis ag dg ~emit;
+  merge_loop ~budget ~metrics ~axis ~drain ag dg ~emit;
   let npairs = Ibuf.length pairs / 3 in
   let pos = Array.make ag.n 0 in
   let acc = ref 0 in
@@ -440,6 +477,79 @@ let run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata (ag : groups)
   done;
   out
 
+(* ---------- sharded dispatch ---------- *)
+
+(* Below this many total input rows the pool hand-off costs more than
+   the merge; tests lower it to force sharding on tiny documents. *)
+let default_par_min_rows = 4096
+
+(* Decide whether (and where) to shard.  Parallelism is declined when
+   the budget carries a tuple ceiling: the serial kernels stop after
+   exactly the budgeted tuple, and per-shard counters cannot reproduce
+   that global ordering.  Deadline/cancellation budgets poll per shard
+   and stay on.  Returns the cut array only when it yields >= 2 shards. *)
+let shard_cuts ~pool ~par_min_rows ~budget (ag : groups) (dg : groups) =
+  match pool with
+  | None -> None
+  | Some p ->
+      if
+        Pool.size p <= 1 || ag.n < 2 || dg.n = 0
+        || budget.Budget.max_tuples <> None
+        || ag.off.(ag.n) + dg.off.(dg.n) < par_min_rows
+      then None
+      else begin
+        (* modest oversubscription so row-balanced cuts of skewed inputs
+           still fill every domain *)
+        let shards = min (2 * Pool.size p) ag.n in
+        let cuts =
+          Shard.cut_points ~shards ~off:ag.off ~gstart:ag.gstart ~gend:ag.gend
+            ~n:ag.n
+        in
+        if Array.length cuts <= 2 then None else Some cuts
+      end
+
+(* Run [runner] once per shard, merge per-shard metrics into [metrics]
+   at the barrier (integer counters are order-independent sums), and
+   hand the per-shard outputs back in shard order.  Each shard gets the
+   ancestor slice [cuts.(k), cuts.(k+1)) and exactly the descendant
+   groups whose start falls at-or-after its first ancestor's start and
+   before the next shard's — containment pairs never cross a valid cut,
+   so every pair is produced by exactly one shard. *)
+let run_sharded ~pool ~cuts ~metrics (ag : groups) (dg : groups) runner =
+  let m = Array.length cuts - 1 in
+  let results =
+    Pool.run pool m (fun k ->
+        let alo = cuts.(k) and ahi = cuts.(k + 1) in
+        let dlo =
+          if k = 0 then 0
+          else Shard.lower_bound dg.gstart ~lo:0 ~hi:dg.n ag.gstart.(alo)
+        in
+        let dhi =
+          if k = m - 1 then dg.n
+          else Shard.lower_bound dg.gstart ~lo:0 ~hi:dg.n ag.gstart.(ahi)
+        in
+        let shard_metrics = Metrics.create () in
+        let out =
+          runner ~metrics:shard_metrics ~drain:(dhi < dg.n)
+            (sub_groups ag alo ahi) (sub_groups dg dlo dhi)
+        in
+        (shard_metrics, out))
+  in
+  Array.iter (fun (sm, _) -> Metrics.add metrics sm) results;
+  Array.map snd results
+
+let concat_batches ~width (parts : Batch.t array) =
+  let total = Array.fold_left (fun acc b -> acc + Batch.length b) 0 parts in
+  let data = Array.make (max 1 (total * width)) Tuple.unbound in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      let n = Batch.length b * width in
+      Array.blit (Batch.data b) 0 data !pos n;
+      pos := !pos + n)
+    parts;
+  Batch.unsafe_of_raw ~width ~len:total data
+
 (* ---------- entry points ---------- *)
 
 let prepare ~doc ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) =
@@ -451,28 +561,48 @@ let prepare ~doc ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) =
   let dg = group ~cols desc_b desc_slot in
   (width, Batch.data anc_b, Batch.data desc_b, ag, dg)
 
-let join_batch ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
-    ~anc ~desc () =
+let join_batch ?(budget = Budget.unlimited) ?pool
+    ?(par_min_rows = default_par_min_rows) ~metrics ~doc ~axis ~algo ~anc ~desc
+    () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
   let width, adata, ddata, ag, dg = prepare ~doc ~anc ~desc in
-  match algo with
-  | Plan.Stack_tree_desc ->
-      run_desc ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
-  | Plan.Stack_tree_anc ->
-      run_anc ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
+  let runner =
+    match algo with
+    | Plan.Stack_tree_desc -> run_desc
+    | Plan.Stack_tree_anc -> run_anc
+  in
+  match shard_cuts ~pool ~par_min_rows ~budget ag dg with
+  | Some cuts ->
+      let pool = Option.get pool in
+      let parts =
+        run_sharded ~pool ~cuts ~metrics ag dg (fun ~metrics ~drain sag sdg ->
+            runner ~budget ~metrics ~axis ~drain ~width ~adata ~ddata sag sdg)
+      in
+      concat_batches ~width parts
+  | None -> runner ~budget ~metrics ~axis ~drain:false ~width ~adata ~ddata ag dg
 
-let join_root ?(budget = Budget.unlimited) ~metrics ~doc ~axis ~algo
-    ~anc ~desc () =
+let join_root ?(budget = Budget.unlimited) ?pool
+    ?(par_min_rows = default_par_min_rows) ~metrics ~doc ~axis ~algo ~anc ~desc
+    () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
   let width, adata, ddata, ag, dg = prepare ~doc ~anc ~desc in
-  match algo with
-  | Plan.Stack_tree_desc ->
-      run_desc_root ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
-  | Plan.Stack_tree_anc ->
-      run_anc_root ~budget ~metrics ~axis ~width ~adata ~ddata ag dg
+  let runner =
+    match algo with
+    | Plan.Stack_tree_desc -> run_desc_root
+    | Plan.Stack_tree_anc -> run_anc_root
+  in
+  match shard_cuts ~pool ~par_min_rows ~budget ag dg with
+  | Some cuts ->
+      let pool = Option.get pool in
+      let parts =
+        run_sharded ~pool ~cuts ~metrics ag dg (fun ~metrics ~drain sag sdg ->
+            runner ~budget ~metrics ~axis ~drain ~width ~adata ~ddata sag sdg)
+      in
+      Array.concat (Array.to_list parts)
+  | None -> runner ~budget ~metrics ~axis ~drain:false ~width ~adata ~ddata ag dg
 
-let join ?budget ~metrics ~doc ~axis ~algo ~anc:(anc_tuples, anc_slot)
-    ~desc:(desc_tuples, desc_slot) () =
+let join ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+    ~anc:(anc_tuples, anc_slot) ~desc:(desc_tuples, desc_slot) () =
   let width =
     if Array.length anc_tuples > 0 then Array.length anc_tuples.(0)
     else if Array.length desc_tuples > 0 then Array.length desc_tuples.(0)
@@ -481,5 +611,5 @@ let join ?budget ~metrics ~doc ~axis ~algo ~anc:(anc_tuples, anc_slot)
   let anc_b = Batch.of_tuples ~width anc_tuples in
   let desc_b = Batch.of_tuples ~width desc_tuples in
   Batch.to_tuples
-    (join_batch ?budget ~metrics ~doc ~axis ~algo ~anc:(anc_b, anc_slot)
-       ~desc:(desc_b, desc_slot) ())
+    (join_batch ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+       ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) ())

@@ -24,13 +24,29 @@
     Inputs sorted by their join node keep equal nodes adjacent;
     consecutive rows sharing the join node are processed as one group, so
     duplicate join-node values (the normal case for intermediate results)
-    are handled exactly. *)
+    are handled exactly.
+
+    {b Parallelism.}  Given a [pool] of size > 1, a large enough join is
+    range-partitioned on the ancestor group column at forest-closed cut
+    points (no ancestor interval straddles a cut), each shard runs the
+    unchanged serial kernel over its slice on a pool domain, per-shard
+    metrics are merged at the barrier, and shard outputs are
+    concatenated in shard order.  The result — tuples, ordering, and
+    every counter including [skipped_items] — is bit-identical to the
+    serial run by construction, for any shard count.  Sharding is
+    declined (falling back to serial) when the budget carries a
+    [max_tuples] ceiling, since stopping after exactly the n-th global
+    tuple is inherently sequential; deadline/cancellation budgets are
+    polled per shard and abort cooperatively.  [par_min_rows] (default
+    4096 total input rows) keeps small joins serial. *)
 
 open Sjos_xml
 open Sjos_plan
 
 val join_batch :
   ?budget:Sjos_guard.Budget.t ->
+  ?pool:Sjos_par.Pool.t ->
+  ?par_min_rows:int ->
   metrics:Metrics.t ->
   doc:Document.t ->
   axis:Axes.axis ->
@@ -53,6 +69,8 @@ val join_batch :
 
 val join_root :
   ?budget:Sjos_guard.Budget.t ->
+  ?pool:Sjos_par.Pool.t ->
+  ?par_min_rows:int ->
   metrics:Metrics.t ->
   doc:Document.t ->
   axis:Axes.axis ->
@@ -71,6 +89,8 @@ val join_root :
 
 val join :
   ?budget:Sjos_guard.Budget.t ->
+  ?pool:Sjos_par.Pool.t ->
+  ?par_min_rows:int ->
   metrics:Metrics.t ->
   doc:Document.t ->
   axis:Axes.axis ->

@@ -10,7 +10,7 @@ type t = {
   deadline_ns : int64 option;
   max_expanded : int option;
   max_tuples : int option;
-  cancelled : bool ref;
+  cancelled : bool Atomic.t;
 }
 
 exception Exhausted of { resource : resource; during : string }
@@ -20,7 +20,7 @@ let unlimited =
     deadline_ns = None;
     max_expanded = None;
     max_tuples = None;
-    cancelled = ref false;
+    cancelled = Atomic.make false;
   }
 
 let make ?deadline_ms ?max_expanded ?max_tuples ?cancelled () =
@@ -37,8 +37,13 @@ let make ?deadline_ms ?max_expanded ?max_tuples ?cancelled () =
         deadline_ns;
         max_expanded;
         max_tuples;
-        cancelled = Option.value cancelled ~default:(ref false);
+        cancelled =
+          (match cancelled with Some c -> c | None -> Atomic.make false);
       }
+
+let cancel t =
+  if t == unlimited then invalid_arg "Budget.cancel: the unlimited budget";
+  Atomic.set t.cancelled true
 
 let is_unlimited t =
   t == unlimited
@@ -52,12 +57,13 @@ let cap_tuples t = function
       let merged =
         match t.max_tuples with Some m -> min m n | None -> n
       in
-      if t == unlimited then { unlimited with max_tuples = Some merged; cancelled = ref false }
+      if t == unlimited then
+        { unlimited with max_tuples = Some merged; cancelled = Atomic.make false }
       else { t with max_tuples = Some merged }
 
 let poll t =
   if t == unlimited then None
-  else if !(t.cancelled) then Some Cancelled
+  else if Atomic.get t.cancelled then Some Cancelled
   else
     match t.deadline_ns with
     | Some d when Int64.compare (Clock.now_ns ()) d >= 0 -> Some Wall_clock
@@ -105,7 +111,7 @@ let to_json t =
         match t.max_expanded with Some n -> Json.Int n | None -> Json.Null );
       ( "max_tuples",
         match t.max_tuples with Some n -> Json.Int n | None -> Json.Null );
-      ("cancelled", Json.Bool !(t.cancelled));
+      ("cancelled", Json.Bool (Atomic.get t.cancelled));
     ]
 
 let pp ppf t =
@@ -117,4 +123,4 @@ let pp ppf t =
       t.max_expanded
       Fmt.(option ~none:(any "none") int)
       t.max_tuples
-      (if !(t.cancelled) then "; cancelled" else "")
+      (if Atomic.get t.cancelled then "; cancelled" else "")

@@ -25,7 +25,10 @@ type t = {
       (** absolute monotonic deadline ({!Sjos_obs.Clock.now_ns} scale) *)
   max_expanded : int option;  (** optimizer status-expansion ceiling *)
   max_tuples : int option;  (** per-operator materialization ceiling *)
-  cancelled : bool ref;  (** set to abort at the next poll point *)
+  cancelled : bool Atomic.t;
+      (** set (from any domain) to abort at the next poll point; the
+          atomic write is the happens-before edge that makes the cancel
+          visible to workers mid-merge-loop *)
 }
 
 exception Exhausted of { resource : resource; during : string }
@@ -42,12 +45,16 @@ val make :
   ?deadline_ms:float ->
   ?max_expanded:int ->
   ?max_tuples:int ->
-  ?cancelled:bool ref ->
+  ?cancelled:bool Atomic.t ->
   unit ->
   t
 (** [deadline_ms] is relative to now and resolved to an absolute
     monotonic deadline immediately.  With no argument at all the result
     is {!unlimited} itself. *)
+
+val cancel : t -> unit
+(** Raise the cancellation flag; every domain polling this budget aborts
+    at its next poll point.  Raises [Invalid_argument] on {!unlimited}. *)
 
 val is_unlimited : t -> bool
 

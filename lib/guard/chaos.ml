@@ -6,7 +6,9 @@ type t = {
   seed : int;
   fault_list : fault list;
   mutable state : int64;
-  mutable injected : int;
+  (* shared between a parent and its [derive]d children, so the
+     diagnostic total survives per-query stream splitting *)
+  injected : int Atomic.t;
 }
 
 let all_faults = [ Truncate_candidates; Unsort_candidates; Lie_cardinalities ]
@@ -20,11 +22,36 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create ?(faults = all_faults) ~seed () =
-  { seed; fault_list = faults; state = Int64.of_int ((2 * seed) + 1); injected = 0 }
+  {
+    seed;
+    fault_list = faults;
+    state = Int64.of_int ((2 * seed) + 1);
+    injected = Atomic.make 0;
+  }
 
 let seed t = t.seed
 let faults t = t.fault_list
-let injected t = t.injected
+let injected t = Atomic.get t.injected
+
+(* An independent stream for [key], pure in (parent seed, key): the
+   parent's generator state is never read or advanced, so the faults a
+   query sees depend only on the configured seed and the query itself —
+   never on how many streams other queries consumed first, or on domain
+   scheduling.  The injection total is shared with the parent. *)
+let derive t ~key =
+  let h =
+    String.fold_left
+      (fun acc c -> mix (Int64.logxor acc (Int64.of_int (Char.code c))))
+      (mix (Int64.of_int ((2 * t.seed) + 1)))
+      key
+  in
+  let child_seed = Int64.to_int (Int64.logand h 0x3FFFFFFFFFFFFFFL) in
+  {
+    seed = child_seed;
+    fault_list = t.fault_list;
+    state = Int64.of_int ((2 * child_seed) + 1);
+    injected = t.injected;
+  }
 
 let next t =
   t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
@@ -50,7 +77,7 @@ let wrap_candidates t candidates =
     let f = List.nth stream_faults (next_int t (List.length stream_faults)) in
     match f with
     | Truncate_candidates ->
-        t.injected <- t.injected + 1;
+        Atomic.incr t.injected;
         Array.sub candidates 0 (next_int t n)
     | Unsort_candidates ->
         if n < 2 then candidates
@@ -59,7 +86,7 @@ let wrap_candidates t candidates =
           let j = (i + 1 + next_int t (n - 1)) mod n in
           if candidates.(i) == candidates.(j) then candidates
           else begin
-            t.injected <- t.injected + 1;
+            Atomic.incr t.injected;
             let c = Array.copy candidates in
             let tmp = c.(i) in
             c.(i) <- c.(j);
@@ -79,7 +106,7 @@ let lie_factor t mask =
 let wrap_provider t (p : Sjos_plan.Costing.provider) =
   if not (enabled t Lie_cardinalities) then p
   else begin
-    t.injected <- t.injected + 1;
+    Atomic.incr t.injected;
     {
       Sjos_plan.Costing.node_card =
         (fun i -> p.Sjos_plan.Costing.node_card i *. lie_factor t (1 lsl i));
@@ -99,11 +126,11 @@ let to_json t =
       ("seed", Json.Int t.seed);
       ( "faults",
         Json.List (List.map (fun f -> Json.Str (fault_name f)) t.fault_list) );
-      ("injected", Json.Int t.injected);
+      ("injected", Json.Int (Atomic.get t.injected));
     ]
 
 let pp ppf t =
   Fmt.pf ppf "chaos{seed=%d; faults=%a; injected=%d}" t.seed
     Fmt.(list ~sep:comma string)
     (List.map fault_name t.fault_list)
-    t.injected
+    (Atomic.get t.injected)

@@ -31,7 +31,15 @@ val seed : t -> int
 val faults : t -> fault list
 
 val injected : t -> int
-(** Number of injections performed so far (monotone; diagnostic). *)
+(** Number of injections performed so far (monotone; diagnostic).  A
+    parent and its {!derive}d children share one total. *)
+
+val derive : t -> key:string -> t
+(** An independent fault stream for [key] (in practice a query's
+    structural fingerprint), pure in (parent seed, key): the parent's
+    generator state is neither read nor advanced, so per-query faults
+    replay from [SJOS_GUARD_SEED] regardless of how many other queries
+    ran first, in what order, or on which domains. *)
 
 val wrap_candidates : t -> Sjos_xml.Node.t array -> Sjos_xml.Node.t array
 (** Possibly corrupt one candidate stream (fresh array; the input is

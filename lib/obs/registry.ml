@@ -1,4 +1,12 @@
-type counter = { c_name : string; mutable count : int }
+(* Thread-safety: instruments are shared across domains, so
+   registration, float-bearing updates and snapshots are serialized by a
+   single registry mutex, while counters use [int Atomic.t] so the hot
+   increment path stays lock-free and allocation-free (immediate ints).
+   Uncontended [Mutex.lock] does not allocate either, so the
+   single-domain cost of a timer/histogram update is unchanged in
+   kind: a branch, a lock word, a few field writes. *)
+
+type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; mutable value : float }
 type timer = { t_name : string; mutable seconds : float; mutable samples : int }
 
@@ -10,9 +18,12 @@ type histogram = {
   mutable h_sum : float;
 }
 
-let on = ref false
-let set_enabled b = on := b
-let enabled () = !on
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* Guards the tables and every non-atomic instrument field. *)
+let m = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
@@ -20,35 +31,53 @@ let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let find_or_add table name make =
-  match Hashtbl.find_opt table name with
-  | Some x -> x
-  | None ->
-      let x = make () in
-      Hashtbl.add table name x;
-      x
+  Mutex.lock m;
+  let x =
+    match Hashtbl.find_opt table name with
+    | Some x -> x
+    | None ->
+        let x = make () in
+        Hashtbl.add table name x;
+        x
+  in
+  Mutex.unlock m;
+  x
 
 let counter name =
-  find_or_add counters name (fun () -> { c_name = name; count = 0 })
+  find_or_add counters name (fun () -> { c_name = name; count = Atomic.make 0 })
 
-let incr c = if !on then c.count <- c.count + 1
-let add c n = if !on then c.count <- c.count + n
-let counter_value c = c.count
+let incr c = if Atomic.get on then Atomic.incr c.count
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.count n)
+let counter_value c = Atomic.get c.count
 
 let gauge name = find_or_add gauges name (fun () -> { g_name = name; value = 0.0 })
-let set_gauge g v = if !on then g.value <- v
-let gauge_value g = g.value
+
+let set_gauge g v =
+  if Atomic.get on then begin
+    Mutex.lock m;
+    g.value <- v;
+    Mutex.unlock m
+  end
+
+let gauge_value g =
+  Mutex.lock m;
+  let v = g.value in
+  Mutex.unlock m;
+  v
 
 let timer name =
   find_or_add timers name (fun () -> { t_name = name; seconds = 0.0; samples = 0 })
 
 let add_seconds t s =
-  if !on then begin
+  if Atomic.get on then begin
+    Mutex.lock m;
     t.seconds <- t.seconds +. s;
-    t.samples <- t.samples + 1
+    t.samples <- t.samples + 1;
+    Mutex.unlock m
   end
 
 let time t f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = Clock.now_ns () in
     let record () = add_seconds t (Clock.elapsed_seconds ~since:t0) in
@@ -61,8 +90,17 @@ let time t f =
         raise e
   end
 
-let timer_total t = t.seconds
-let timer_count t = t.samples
+let timer_total t =
+  Mutex.lock m;
+  let v = t.seconds in
+  Mutex.unlock m;
+  v
+
+let timer_count t =
+  Mutex.lock m;
+  let v = t.samples in
+  Mutex.unlock m;
+  v
 
 let default_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1000.0 |]
@@ -78,29 +116,34 @@ let histogram ?(buckets = default_buckets) name =
       })
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then begin
     let nb = Array.length h.bounds in
     let rec slot i = if i >= nb || v <= h.bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
+    Mutex.lock m;
     h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v
+    h.h_sum <- h.h_sum +. v;
+    Mutex.unlock m
   end
 
 let reset () =
+  Mutex.lock m;
   Hashtbl.reset counters;
   Hashtbl.reset gauges;
   Hashtbl.reset timers;
-  Hashtbl.reset histograms
+  Hashtbl.reset histograms;
+  Mutex.unlock m
 
 let sorted_values table =
   Hashtbl.fold (fun _ v acc -> v :: acc) table []
 
 let to_json () =
   let by fst_of l = List.sort (fun a b -> compare (fst_of a) (fst_of b)) l in
+  Mutex.lock m;
   let counters_j =
     sorted_values counters
-    |> List.map (fun c -> (c.c_name, Json.Int c.count))
+    |> List.map (fun c -> (c.c_name, Json.Int (Atomic.get c.count)))
     |> by fst
   in
   let gauges_j =
@@ -137,6 +180,7 @@ let to_json () =
                ] ))
     |> by fst
   in
+  Mutex.unlock m;
   Json.Obj
     [
       ("counters", Json.Obj counters_j);
@@ -146,18 +190,30 @@ let to_json () =
     ]
 
 let pp ppf () =
+  (* snapshot under the lock, format outside it *)
+  Mutex.lock m;
+  let cs = List.sort compare (sorted_values counters) in
+  let cs = List.map (fun c -> (c.c_name, Atomic.get c.count)) cs in
+  let gs =
+    List.sort compare (sorted_values gauges)
+    |> List.map (fun g -> (g.g_name, g.value))
+  in
+  let ts =
+    List.sort compare (sorted_values timers)
+    |> List.map (fun t -> (t.t_name, t.seconds, t.samples))
+  in
+  let hs =
+    List.sort compare (sorted_values histograms)
+    |> List.map (fun h -> (h.h_name, h.h_count, h.h_sum))
+  in
+  Mutex.unlock m;
   let line fmt = Fmt.pf ppf fmt in
+  List.iter (fun (name, count) -> line "counter %-40s %d@." name count) cs;
+  List.iter (fun (name, value) -> line "gauge   %-40s %g@." name value) gs;
   List.iter
-    (fun (c : counter) -> line "counter %-40s %d@." c.c_name c.count)
-    (List.sort compare (sorted_values counters));
+    (fun (name, seconds, samples) ->
+      line "timer   %-40s %.6fs over %d@." name seconds samples)
+    ts;
   List.iter
-    (fun (g : gauge) -> line "gauge   %-40s %g@." g.g_name g.value)
-    (List.sort compare (sorted_values gauges));
-  List.iter
-    (fun (t : timer) ->
-      line "timer   %-40s %.6fs over %d@." t.t_name t.seconds t.samples)
-    (List.sort compare (sorted_values timers));
-  List.iter
-    (fun (h : histogram) ->
-      line "histo   %-40s n=%d sum=%g@." h.h_name h.h_count h.h_sum)
-    (List.sort compare (sorted_values histograms))
+    (fun (name, count, sum) -> line "histo   %-40s n=%d sum=%g@." name count sum)
+    hs

@@ -10,7 +10,12 @@
     The registry is deliberately not the source of truth for quantities
     the system's behavior depends on (search-effort counters, executor
     cost accounting keep their own always-on structures); it is the
-    aggregation and export layer above them. *)
+    aggregation and export layer above them.
+
+    Thread-safety: all operations are safe to call from any domain.
+    Counter updates are atomic and lock-free; registration,
+    gauge/timer/histogram updates and snapshots are serialized by an
+    internal mutex.  No increment is ever lost. *)
 
 type counter
 type gauge

@@ -17,23 +17,32 @@ let null_span =
     dummy = true;
   }
 
-let on = ref false
-let set_enabled b = on := b
-let enabled () = !on
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 
 (* Recorded forest: finished roots in reverse order, plus the stack of
-   currently-open spans (innermost first). *)
-let roots_rev : span list ref = ref []
-let open_stack : span list ref = ref []
+   currently-open spans (innermost first).  The state is domain-local:
+   span nesting follows each domain's own call stack, so domains that
+   trace concurrently each build their own forest instead of corrupting
+   a shared one.  [to_json]/[to_string]/[reset] operate on the calling
+   domain's forest. *)
+type state = { mutable roots_rev : span list; mutable open_stack : span list }
+
+let state_key = Domain.DLS.new_key (fun () -> { roots_rev = []; open_stack = [] })
+let state () = Domain.DLS.get state_key
 
 let reset () =
-  roots_rev := [];
-  open_stack := []
+  let st = state () in
+  st.roots_rev <- [];
+  st.open_stack <- []
 
-let is_empty () = !roots_rev = [] && !open_stack = []
+let is_empty () =
+  let st = state () in
+  st.roots_rev = [] && st.open_stack = []
 
 let begin_span ?(attrs = []) name =
-  if not !on then null_span
+  if not (Atomic.get on) then null_span
   else begin
     let s =
       {
@@ -45,10 +54,11 @@ let begin_span ?(attrs = []) name =
         dummy = false;
       }
     in
-    (match !open_stack with
+    let st = state () in
+    (match st.open_stack with
     | parent :: _ -> parent.children_rev <- s :: parent.children_rev
-    | [] -> roots_rev := s :: !roots_rev);
-    open_stack := s :: !open_stack;
+    | [] -> st.roots_rev <- s :: st.roots_rev);
+    st.open_stack <- s :: st.open_stack;
     s
   end
 
@@ -57,21 +67,22 @@ let add_attr s key v = if not s.dummy then s.attrs <- s.attrs @ [ (key, v) ]
 let end_span ?(attrs = []) s =
   if not s.dummy && s.end_ns = None then begin
     let now = Clock.now_ns () in
+    let st = state () in
     (* close any descendants left open, then the span itself *)
     let rec close_to () =
-      match !open_stack with
+      match st.open_stack with
       | top :: rest ->
-          open_stack := rest;
+          st.open_stack <- rest;
           if top.end_ns = None then top.end_ns <- Some now;
           if top != s then close_to ()
       | [] -> ()
     in
-    if List.memq s !open_stack then close_to () else s.end_ns <- Some now;
+    if List.memq s st.open_stack then close_to () else s.end_ns <- Some now;
     s.attrs <- s.attrs @ attrs
   end
 
 let with_span ?attrs name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let s = begin_span ?attrs name in
     match f () with
@@ -84,7 +95,7 @@ let with_span ?attrs name f =
   end
 
 let event ?attrs name =
-  if !on then end_span (begin_span ?attrs name)
+  if Atomic.get on then end_span (begin_span ?attrs name)
 
 let span_seconds s =
   let finish = match s.end_ns with Some t -> t | None -> Clock.now_ns () in
@@ -105,7 +116,7 @@ let rec span_to_json s =
   in
   Json.Obj fields
 
-let to_json () = Json.List (List.rev_map span_to_json !roots_rev)
+let to_json () = Json.List (List.rev_map span_to_json (state ()).roots_rev)
 
 let to_string () =
   let buf = Buffer.create 256 in
@@ -120,5 +131,5 @@ let to_string () =
     Buffer.add_char buf '\n';
     List.iter (emit (depth + 1)) (List.rev s.children_rev)
   in
-  List.iter (emit 0) (List.rev !roots_rev);
+  List.iter (emit 0) (List.rev (state ()).roots_rev);
   Buffer.contents buf

@@ -8,7 +8,12 @@
 
     Tracing is disabled by default: every entry point first checks one
     boolean and returns immediately, so instrumented code paths cost
-    nothing unless the user asked for a trace ([--trace] in the CLI). *)
+    nothing unless the user asked for a trace ([--trace] in the CLI).
+
+    The recorded forest is {e domain-local}: spans nest along each
+    domain's own call stack, and [to_json]/[to_string]/[reset] act on
+    the calling domain's forest.  Work traced on pool worker domains
+    therefore does not appear in the driving domain's export. *)
 
 type span
 

@@ -1,0 +1,35 @@
+let lower_bound (a : int array) ~lo ~hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if Array.unsafe_get a mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Greedy balanced cuts: walk the groups once, maintaining the running
+   maximum of interval ends; a boundary is dropped at the first valid
+   position at-or-after each ideal k/shards row split.  Validity —
+   [run_max < gstart.(i)] — guarantees no interval straddles the cut. *)
+let cut_points ~shards ~(off : int array) ~(gstart : int array)
+    ~(gend : int array) ~n =
+  let total = off.(n) in
+  if shards <= 1 || n <= 1 || total <= 0 then [| 0; n |]
+  else begin
+    let cuts = ref [ 0 ] in
+    let ncuts = ref 1 in
+    let run_max = ref gend.(0) in
+    (* next ideal split, as "rows consumed * shards >= total * k" *)
+    let k = ref 1 in
+    let i = ref 1 in
+    while !i < n && !ncuts < shards do
+      if !run_max < gstart.(!i) && off.(!i) * shards >= total * !k then begin
+        cuts := !i :: !cuts;
+        incr ncuts;
+        (* skip past every ideal boundary this cut already covers *)
+        k := (off.(!i) * shards / total) + 1
+      end;
+      run_max := max !run_max gend.(!i);
+      incr i
+    done;
+    Array.of_list (List.rev (n :: !cuts))
+  end

@@ -1,0 +1,25 @@
+(** Forest-closed range partitioning for interval-encoded node columns.
+
+    The columnar Stack-Tree kernels group candidate rows by node; a
+    group column is described by [n] groups with strictly increasing
+    start positions [gstart], end positions [gend], and row offsets
+    [off] (length [n + 1]).  A cut before group [i] is {e valid} when no
+    earlier interval straddles it: [max (gend.(0..i-1)) < gstart.(i)].
+    Partitioning only at valid cuts means every ancestor/descendant
+    containment pair falls entirely inside one shard, which is what
+    makes sharded execution bit-identical to serial by construction. *)
+
+val lower_bound : int array -> lo:int -> hi:int -> int -> int
+(** [lower_bound a ~lo ~hi x] is the smallest [i] in [\[lo, hi)] with
+    [a.(i) >= x], or [hi] if there is none.  [a.(lo..hi-1)] must be
+    sorted ascending. *)
+
+val cut_points :
+  shards:int -> off:int array -> gstart:int array -> gend:int array ->
+  n:int -> int array
+(** [cut_points ~shards ~off ~gstart ~gend ~n] returns group-index
+    boundaries [\[|0; c1; ...; n|\]] describing at most [shards]
+    contiguous segments.  Every interior boundary is a valid cut in the
+    sense above, and boundaries are placed to balance {e rows} (as
+    measured by [off]) across segments.  When no valid cut exists the
+    result is [\[|0; n|\]]. *)

@@ -9,11 +9,15 @@ type columns = {
 
 type t = {
   doc : Document.t;
-  by_tag : (string, Node.t array) Hashtbl.t;
+  by_tag : (string, Node.t array) Hashtbl.t;  (* immutable after [build] *)
   (* (tag, attr) -> value -> sorted nodes; built lazily *)
   by_attr : (string * string, (string, Node.t array) Hashtbl.t) Hashtbl.t;
   (* flat per-tag columns mirroring [by_tag]; built lazily *)
   cols_by_tag : (string, columns) Hashtbl.t;
+  (* guards the two lazily-filled tables above: a Hashtbl mutated while
+     another domain probes it is a real race (resize moves buckets), so
+     every access to them takes the lock.  [by_tag] needs none. *)
+  lazy_m : Mutex.t;
 }
 
 let columns_of_nodes (nodes : Node.t array) =
@@ -47,24 +51,36 @@ let build doc =
   Hashtbl.iter
     (fun tag l -> Hashtbl.replace by_tag tag (Array.of_list (List.rev !l)))
     buckets;
-  { doc; by_tag; by_attr = Hashtbl.create 8; cols_by_tag = Hashtbl.create 16 }
+  {
+    doc;
+    by_tag;
+    by_attr = Hashtbl.create 8;
+    cols_by_tag = Hashtbl.create 16;
+    lazy_m = Mutex.create ();
+  }
 
 let lookup t tag =
   match Hashtbl.find_opt t.by_tag tag with Some a -> a | None -> [||]
 
 let columns t tag =
-  match Hashtbl.find_opt t.cols_by_tag tag with
-  | Some c -> c
-  | None ->
-      let c =
-        match Hashtbl.find_opt t.by_tag tag with
-        | None -> empty_columns
-        | Some nodes -> columns_of_nodes nodes
-      in
-      Hashtbl.replace t.cols_by_tag tag c;
-      c
+  Mutex.lock t.lazy_m;
+  let c =
+    match Hashtbl.find_opt t.cols_by_tag tag with
+    | Some c -> c
+    | None ->
+        let c =
+          match Hashtbl.find_opt t.by_tag tag with
+          | None -> empty_columns
+          | Some nodes -> columns_of_nodes nodes
+        in
+        Hashtbl.replace t.cols_by_tag tag c;
+        c
+  in
+  Mutex.unlock t.lazy_m;
+  c
 
 let lookup_attr t ~tag ~attr ~value =
+  Mutex.lock t.lazy_m;
   let table =
     match Hashtbl.find_opt t.by_attr (tag, attr) with
     | Some table -> table
@@ -86,7 +102,14 @@ let lookup_attr t ~tag ~attr ~value =
         Hashtbl.replace t.by_attr (tag, attr) table;
         table
   in
-  match Hashtbl.find_opt table value with Some a -> a | None -> [||]
+  let r =
+    match Hashtbl.find_opt table value with Some a -> a | None -> [||]
+  in
+  Mutex.unlock t.lazy_m;
+  r
+
+let warm t =
+  Hashtbl.iter (fun tag _ -> ignore (columns t tag)) t.by_tag
 
 let cardinality t tag = Array.length (lookup t tag)
 

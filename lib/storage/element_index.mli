@@ -30,7 +30,12 @@ val lookup : t -> string -> Node.t array
 
 val columns : t -> string -> columns
 (** Flat-column view of {!lookup}, built lazily per tag and cached.
-    Callers must not mutate the arrays. *)
+    Callers must not mutate the arrays.  Safe to call from any domain
+    (the lazy caches are mutex-guarded). *)
+
+val warm : t -> unit
+(** Pre-build the per-tag column cache for every tag, so parallel
+    queries hit only read paths.  Idempotent. *)
 
 val columns_of_nodes : Node.t array -> columns
 (** Extract fresh columns from an arbitrary (document-ordered) candidate

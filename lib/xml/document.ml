@@ -4,7 +4,7 @@ type columns = {
   levels : int array;
 }
 
-type t = { arr : Node.t array; mutable cols : columns option }
+type t = { arr : Node.t array; cols_m : Mutex.t; mutable cols : columns option }
 
 let of_nodes arr =
   Array.iteri
@@ -14,24 +14,36 @@ let of_nodes arr =
           (Printf.sprintf "Document.of_nodes: node at index %d has id %d" i
              n.Node.id))
     arr;
-  { arr; cols = None }
+  { arr; cols_m = Mutex.create (); cols = None }
 
+(* The cache fill runs under [cols_m] so concurrent domains share one
+   columns record instead of racing to build duplicates.  The unlocked
+   fast-path read is safe: [cols] only ever goes [None -> Some c] with
+   [c] fully initialized before the (atomic, word-sized) field write. *)
 let columns t =
   match t.cols with
   | Some c -> c
   | None ->
-      let n = Array.length t.arr in
-      let starts = Array.make n 0
-      and ends = Array.make n 0
-      and levels = Array.make n 0 in
-      for i = 0 to n - 1 do
-        let node = Array.unsafe_get t.arr i in
-        Array.unsafe_set starts i node.Node.start_pos;
-        Array.unsafe_set ends i node.Node.end_pos;
-        Array.unsafe_set levels i node.Node.level
-      done;
-      let c = { starts; ends; levels } in
-      t.cols <- Some c;
+      Mutex.lock t.cols_m;
+      let c =
+        match t.cols with
+        | Some c -> c
+        | None ->
+            let n = Array.length t.arr in
+            let starts = Array.make n 0
+            and ends = Array.make n 0
+            and levels = Array.make n 0 in
+            for i = 0 to n - 1 do
+              let node = Array.unsafe_get t.arr i in
+              Array.unsafe_set starts i node.Node.start_pos;
+              Array.unsafe_set ends i node.Node.end_pos;
+              Array.unsafe_set levels i node.Node.level
+            done;
+            let c = { starts; ends; levels } in
+            t.cols <- Some c;
+            c
+      in
+      Mutex.unlock t.cols_m;
       c
 
 let size t = Array.length t.arr

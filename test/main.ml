@@ -17,5 +17,6 @@ let () =
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("guard", Test_guard.suite);
+      ("par", Test_par.suite);
       ("properties", Test_properties.suite);
     ]

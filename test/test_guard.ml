@@ -47,11 +47,12 @@ let test_budget_ceilings () =
       check ci "limit" 10 limit;
       check ci "count" 11 count
   | () -> Alcotest.fail "tuple ceiling did not fire");
-  let flag = ref false in
+  let flag = Atomic.make false in
   let c = Budget.make ~cancelled:flag () in
   check cb "not cancelled yet" true (Budget.poll c = None);
-  flag := true;
+  Budget.cancel c;
   check cb "cancelled" true (Budget.poll c = Some Budget.Cancelled);
+  check cb "cancel writes the caller's flag" true (Atomic.get flag);
   let d = Budget.make ~deadline_ms:0.0 () in
   (match Budget.check d ~during:"t" with
   | exception Budget.Exhausted { resource = Budget.Wall_clock; _ } -> ()
