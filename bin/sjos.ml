@@ -82,11 +82,27 @@ let json_flag =
     & info [ "json" ]
         ~doc:"Emit a machine-readable JSON report instead of the human table.")
 
-let with_obs ~trace f =
-  if trace then Sjos_obs.Report.enable_all ();
+let trace_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded spans as a Chrome trace-event JSON file (one \
+           track per domain; open it in Perfetto or chrome://tracing).  \
+           Implies span recording even without $(b,--trace).")
+
+let with_obs ~trace ?trace_out f =
+  let tracing = trace || trace_out <> None in
+  if tracing then Sjos_obs.Report.enable_all ();
   let r = f () in
   let report = if trace then Some (Sjos_obs.Report.to_json ()) else None in
-  if trace then Sjos_obs.Report.disable_all ();
+  Option.iter
+    (fun path ->
+      Sjos_obs.Report.write_file path (Sjos_obs.Trace.to_chrome_json ());
+      Fmt.epr "sjos: wrote Chrome trace to %s@." path)
+    trace_out;
+  if tracing then Sjos_obs.Report.disable_all ();
   (r, report)
 
 (* ---------- error boundary ----------
@@ -237,7 +253,7 @@ let domains_opt =
            environment variable, or 1.")
 
 let query_cmd =
-  let run pattern file algorithm limit show xpath trace json no_cache
+  let run pattern file algorithm limit show xpath trace trace_out json no_cache
       deadline_ms max_expanded grid domains =
     guarded @@ fun () ->
     let db = Database.load_file file in
@@ -251,7 +267,7 @@ let query_cmd =
         ?grid ?pool ()
     in
     let (prep, run), report =
-      with_obs ~trace (fun () ->
+      with_obs ~trace ?trace_out (fun () ->
           let prep = Database.prepare ~opts db p in
           (prep, Database.exec prep))
     in
@@ -328,7 +344,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
-      $ trace_flag $ json_flag $ no_cache_flag $ deadline_opt
+      $ trace_flag $ trace_out_opt $ json_flag $ no_cache_flag $ deadline_opt
       $ max_expanded_opt $ grid_opt $ domains_opt)
 
 (* ---------- explain ---------- *)
@@ -347,7 +363,7 @@ let explain_cmd =
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run pattern file algorithm limit xpath trace json deadline_ms
+  let run pattern file algorithm limit xpath trace trace_out json deadline_ms
       max_expanded =
     guarded @@ fun () ->
     let db = Database.load_file file in
@@ -358,7 +374,7 @@ let analyze_cmd =
         ()
     in
     let a, report =
-      with_obs ~trace (fun () ->
+      with_obs ~trace ?trace_out (fun () ->
           Database.analyze_prepared (Database.prepare ~opts db p))
     in
     warn_degraded a.Database.opt;
@@ -413,7 +429,8 @@ let analyze_cmd =
           time")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
-      $ trace_flag $ json_flag $ deadline_opt $ max_expanded_opt)
+      $ trace_flag $ trace_out_opt $ json_flag $ deadline_opt
+      $ max_expanded_opt)
 
 (* ---------- repl ---------- *)
 
@@ -492,6 +509,100 @@ let repl_cmd =
       const run $ file $ algo_opt $ no_cache_flag $ xpath_flag $ deadline_opt
       $ max_expanded_opt)
 
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let run pattern file algorithm xpath no_cache domains =
+    guarded @@ fun () ->
+    let db = Database.load_file file in
+    let p = parse_pattern ~xpath pattern in
+    let pool = Option.map (fun n -> Sjos_par.Pool.create ~domains:n ()) domains in
+    Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
+    @@ fun () ->
+    let opts = Query_opts.make ~algorithm ~use_cache:(not no_cache) ?pool () in
+    Sjos_obs.Registry.set_enabled true;
+    (* run under a scoped accumulator so the dumped work counters are
+       exactly this query's, not process-lifetime totals *)
+    let work, outcome =
+      Sjos_obs.Work.scoped (fun () ->
+          Database.exec (Database.prepare ~opts db p))
+    in
+    let run = match outcome with Ok r -> r | Error e -> raise e in
+    Sjos_obs.Registry.set_enabled false;
+    let open Sjos_obs.Json in
+    print_endline
+      (to_string_pretty
+         (Obj
+            [
+              ("pattern", Str pattern);
+              ( "matches",
+                Int (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
+              );
+              ("work", Sjos_obs.Work.to_json work);
+              ("gc", Sjos_obs.Work.gc_to_json (Sjos_obs.Work.gc_snapshot ()));
+              ("registry", Sjos_obs.Registry.to_json ());
+            ]))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Execute a pattern and dump the full observability snapshot as \
+          JSON: the query's deterministic work counters, GC totals and \
+          every registry instrument")
+    Term.(
+      const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag
+      $ no_cache_flag $ domains_opt)
+
+(* ---------- perf-gate ---------- *)
+
+let perf_gate_cmd =
+  let run dir bench work_tol alloc_tol =
+    match
+      Sjos_obs.Perf_history.gate ?work_tolerance:work_tol
+        ?alloc_tolerance:alloc_tol ~dir ~bench ()
+    with
+    | Sjos_obs.Perf_history.Pass msg ->
+        Fmt.pr "perf-gate %s: PASS — %s@." bench msg
+    | Sjos_obs.Perf_history.Bootstrap msg ->
+        Fmt.pr "perf-gate %s: BOOTSTRAP — %s@." bench msg
+    | Sjos_obs.Perf_history.Fail msgs ->
+        List.iter (fun m -> Fmt.epr "perf-gate %s: FAIL — %s@." bench m) msgs;
+        exit 1
+  in
+  let dir =
+    Arg.(
+      value & opt string "results"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Perf-history directory (default: results).")
+  in
+  let bench =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Store key, e.g. perf or par.")
+  in
+  let work_tol =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "work-tol" ] ~docv:"FRAC"
+          ~doc:"Work-score tolerance as a fraction (default 0.01).")
+  in
+  let alloc_tol =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "alloc-tol" ] ~docv:"FRAC"
+          ~doc:"Allocation tolerance as a fraction (default 0.10).")
+  in
+  Cmd.v
+    (Cmd.info "perf-gate"
+       ~doc:
+         "Compare the two newest datapoints of a perf-history store; exit 1 \
+          when deterministic work units or allocation regressed beyond \
+          tolerance.  Wall-clock is never gated.")
+    Term.(const run $ dir $ bench $ work_tol $ alloc_tol)
+
 (* ---------- experiments ---------- *)
 
 let scale_opt =
@@ -558,6 +669,8 @@ let main =
       explain_cmd;
       analyze_cmd;
       repl_cmd;
+      metrics_cmd;
+      perf_gate_cmd;
       table1_cmd;
       table2_cmd;
       table3_cmd;

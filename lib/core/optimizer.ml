@@ -50,6 +50,11 @@ let optimize ?factors ?budget ~provider algorithm pat =
   in
   let opt_seconds = Clock.elapsed_seconds ~since:t0 in
   let eff = ctx.Search.effort in
+  (* Deterministic optimizer work: one unit per status expansion, plus
+     the (advisory) count of complete plans considered. *)
+  let w = Work.current () in
+  w.Work.expansions <- w.Work.expansions + eff.Effort.expanded;
+  w.Work.plans_considered <- w.Work.plans_considered + eff.Effort.considered;
   Trace.end_span span
     ~attrs:[ ("est_cost", Json.Float est_cost); ("effort", Effort.to_json eff) ];
   Effort.publish ~prefix:("optimizer." ^ name algorithm) eff;

@@ -245,6 +245,18 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
           }
   in
   let seconds = Clock.elapsed_seconds ~since:t0 in
+  (* Fold the run's differential metrics into the deterministic work
+     accumulator.  [metrics] already holds the merged totals from every
+     operator and shard (integer sums, partition-invariant), so a single
+     end-of-run fold keeps the counters engine- and domain-independent. *)
+  let w = Work.current () in
+  w.Work.candidates_scanned <-
+    w.Work.candidates_scanned + metrics.Metrics.index_items;
+  w.Work.tuples_emitted <- w.Work.tuples_emitted + metrics.Metrics.output_tuples;
+  w.Work.items_skipped <- w.Work.items_skipped + metrics.Metrics.skipped_items;
+  w.Work.stack_ops <- w.Work.stack_ops + metrics.Metrics.stack_ops;
+  w.Work.io_items <- w.Work.io_items + metrics.Metrics.io_items;
+  w.Work.sorted_items <- w.Work.sorted_items + metrics.Metrics.sorted_items;
   if Registry.enabled () then begin
     Registry.add_seconds (Registry.timer "executor.seconds") seconds;
     Registry.add (Registry.counter "executor.output_tuples") (Array.length tuples)

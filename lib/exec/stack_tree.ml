@@ -4,6 +4,8 @@ open Sjos_guard
 module Ibuf = Batch.Ibuf
 module Pool = Sjos_par.Pool
 module Shard = Sjos_par.Shard
+module Work = Sjos_obs.Work
+module Registry = Sjos_obs.Registry
 
 (* Columnar Stack-Tree kernels.  The legacy group-list implementation is
    preserved in {!Stack_tree_legacy}; this module must produce
@@ -157,6 +159,7 @@ let merge_rows adata abase ddata dbase out obase width =
    (unsharded) call passes [drain:false]: with no later descendants the
    serial loop leaves those groups untouched, and so do we. *)
 let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
+  let work = Work.current () in
   let iters = ref 0 in
   let stack = ref (Array.make 64 0) in
   let sp = ref 0 in
@@ -227,6 +230,13 @@ let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
       else begin
         let dend = Array.unsafe_get dg.gend !di in
         let dlevel = Array.unsafe_get dg.glevel !di in
+        (* Deterministic work unit: one comparison per live stack entry
+           examined for this descendant group.  The stack holds exactly
+           the ancestor groups whose interval contains [dstart], which
+           does not depend on shard boundaries (forest-closed cuts) or
+           on engine (the legacy join scans the same stack), so totals
+           are partition- and engine-invariant. *)
+        work.Work.comparisons <- work.Work.comparisons + !sp;
         (* bottom-to-top = ancestor document order within this descendant *)
         for s = 0 to !sp - 1 do
           let g = Array.unsafe_get !stack s in
@@ -517,6 +527,31 @@ let shard_cuts ~pool ~par_min_rows ~budget (ag : groups) (dg : groups) =
    so every pair is produced by exactly one shard. *)
 let run_sharded ~pool ~cuts ~metrics (ag : groups) (dg : groups) runner =
   let m = Array.length cuts - 1 in
+  (if Registry.enabled () then begin
+     (* Shard-balance accounting, computed from the cuts alone — fully
+        deterministic for a given pool size and input, independent of
+        scheduling.  balance = max_weighted / total >= 1.0, with 1.0 a
+        perfectly even split; the parallel bench gates on this ratio. *)
+     let total = ref 0 and max_rows = ref 0 in
+     for k = 0 to m - 1 do
+       let alo = cuts.(k) and ahi = cuts.(k + 1) in
+       let dlo =
+         if k = 0 then 0
+         else Shard.lower_bound dg.gstart ~lo:0 ~hi:dg.n ag.gstart.(alo)
+       in
+       let dhi =
+         if k = m - 1 then dg.n
+         else Shard.lower_bound dg.gstart ~lo:0 ~hi:dg.n ag.gstart.(ahi)
+       in
+       let rows = ag.off.(ahi) - ag.off.(alo) + (dg.off.(dhi) - dg.off.(dlo)) in
+       total := !total + rows;
+       if rows > !max_rows then max_rows := rows
+     done;
+     Registry.incr (Registry.counter "par.sharded_joins");
+     Registry.add (Registry.counter "par.shard_rows_total") !total;
+     Registry.add (Registry.counter "par.shard_rows_max_weighted")
+       (!max_rows * m)
+   end);
   let results =
     Pool.run pool m (fun k ->
         let alo = cuts.(k) and ahi = cuts.(k + 1) in

@@ -60,6 +60,7 @@ let poll_merge ~budget iters =
 (* --- Stack-Tree-Desc: stream output in descendant order --------------- *)
 
 let run_desc ~budget ~metrics ~axis anc_groups desc_groups =
+  let work = Sjos_obs.Work.current () in
   let out = ref [] in
   let iters = ref 0 in
   let stack = ref [] in
@@ -91,6 +92,10 @@ let run_desc ~budget ~metrics ~axis anc_groups desc_groups =
     end
     else begin
       pop_until d.node.Node.start_pos;
+      (* same work unit as the columnar kernel: one comparison per live
+         stack entry examined for this descendant group *)
+      work.Sjos_obs.Work.comparisons <-
+        work.Sjos_obs.Work.comparisons + List.length !stack;
       (* bottom-to-top = ancestor document order within this descendant *)
       List.iter
         (fun a ->
@@ -115,6 +120,7 @@ type anc_entry = {
 }
 
 let run_anc ~budget ~metrics ~axis anc_groups desc_groups =
+  let work = Sjos_obs.Work.current () in
   let out_chunks_rev = ref [] in
   let iters = ref 0 in
   let stack = ref [] in
@@ -159,6 +165,8 @@ let run_anc ~budget ~metrics ~axis anc_groups desc_groups =
     end
     else begin
       pop_until d.node.Node.start_pos;
+      work.Sjos_obs.Work.comparisons <-
+        work.Sjos_obs.Work.comparisons + List.length !stack;
       List.iter
         (fun e ->
           if Axes.related axis ~anc:e.group.node ~desc:d.node then

@@ -1,0 +1,250 @@
+(* Perf-history store and regression gate.
+
+   Layout (after nim-lang/ci_bench and the hxhx M14 harness): each bench
+   run appends one immutable datapoint file
+
+     <dir>/<bench>-<timestamp>.json      (e.g. results/perf-1723111230.json)
+
+   and rewrites <dir>/<bench>-latest.json with the same content.  The
+   gate never reads latest.json as history — it is a convenience pointer
+   for humans and dashboards; comparisons use the two newest timestamped
+   datapoints, so the store stays append-only and a re-run can never
+   erase the baseline it is judged against. *)
+
+let schema_version = 1
+
+type entry = {
+  entry_id : string;
+  work : Work.t;
+  allocated_bytes : float;
+  seconds : float;
+}
+
+type datapoint = {
+  bench : string;
+  timestamp : int;
+  meta : (string * Json.t) list;
+  entries : entry list;
+}
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("id", Json.Str e.entry_id);
+      ("work", Work.to_json e.work);
+      ("score", Json.Int (Work.score e.work));
+      ("allocated_bytes", Json.Float e.allocated_bytes);
+      ("seconds", Json.Float e.seconds);
+    ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("bench", Json.Str d.bench);
+      ("timestamp", Json.Int d.timestamp);
+      ("meta", Json.Obj d.meta);
+      ("entries", Json.List (List.map entry_to_json d.entries));
+    ]
+
+let entry_of_json j =
+  let ( let* ) = Result.bind in
+  let* entry_id =
+    match Json.member "id" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "entry is missing a string \"id\""
+  in
+  let* work =
+    match Json.member "work" j with
+    | Some w -> Work.of_json w
+    | None -> Error (Printf.sprintf "entry %S has no \"work\" object" entry_id)
+  in
+  let num name default =
+    match Option.bind (Json.member name j) Json.number with
+    | Some f -> f
+    | None -> default
+  in
+  Ok
+    {
+      entry_id;
+      work;
+      allocated_bytes = num "allocated_bytes" 0.0;
+      seconds = num "seconds" 0.0;
+    }
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.number with
+    | Some v when int_of_float v = schema_version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported schema version %g" v)
+    | None -> Error "datapoint has no \"schema\" field"
+  in
+  let* bench =
+    match Json.member "bench" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "datapoint has no string \"bench\" field"
+  in
+  let* timestamp =
+    match Json.member "timestamp" j with
+    | Some (Json.Int t) -> Ok t
+    | _ -> Error "datapoint has no integer \"timestamp\" field"
+  in
+  let meta =
+    match Json.member "meta" j with Some (Json.Obj kv) -> kv | _ -> []
+  in
+  let* entries =
+    match Json.member "entries" j with
+    | Some (Json.List es) ->
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* e = entry_of_json e in
+            Ok (e :: acc))
+          (Ok []) es
+        |> Result.map List.rev
+    | _ -> Error "datapoint has no \"entries\" list"
+  in
+  Ok { bench; timestamp; meta; entries }
+
+let of_string s = Result.bind (Json.of_string s) of_json
+
+(* ---------- store ---------- *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let latest_path ~dir ~bench = Filename.concat dir (bench ^ "-latest.json")
+
+let append ~dir d =
+  ensure_dir dir;
+  (* same-second re-runs get a disambiguating suffix instead of
+     clobbering the earlier datapoint *)
+  let rec fresh_path n =
+    let name =
+      if n = 0 then Printf.sprintf "%s-%d.json" d.bench d.timestamp
+      else Printf.sprintf "%s-%d-%d.json" d.bench d.timestamp n
+    in
+    let path = Filename.concat dir name in
+    if Sys.file_exists path then fresh_path (n + 1) else path
+  in
+  let path = fresh_path 0 in
+  let json = to_json d in
+  Report.write_file path json;
+  Report.write_file (latest_path ~dir ~bench:d.bench) json;
+  path
+
+(* History files for a bench, oldest first.  latest.json is excluded by
+   construction (its basename carries no integer timestamp), and the
+   same-second "-N" suffix orders after the unsuffixed file. *)
+let history ~dir ~bench =
+  if not (Sys.file_exists dir) then []
+  else
+    let prefix = bench ^ "-" in
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           if
+             String.length name > String.length prefix + 5
+             && String.sub name 0 (String.length prefix) = prefix
+             && Filename.check_suffix name ".json"
+           then
+             let stem = Filename.chop_suffix name ".json" in
+             let rest =
+               String.sub stem (String.length prefix)
+                 (String.length stem - String.length prefix)
+             in
+             let key =
+               match String.split_on_char '-' rest with
+               | [ ts ] -> Option.map (fun t -> (t, 0)) (int_of_string_opt ts)
+               | [ ts; n ] ->
+                   Option.bind (int_of_string_opt ts) (fun t ->
+                       Option.map (fun n -> (t, n)) (int_of_string_opt n))
+               | _ -> None
+             in
+             Option.map (fun key -> (key, Filename.concat dir name)) key
+           else None)
+    |> List.sort compare |> List.map snd
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match of_string s with
+  | Ok d -> Ok d
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+(* ---------- gate ---------- *)
+
+type verdict =
+  | Pass of string
+  | Bootstrap of string
+  | Fail of string list
+
+let default_work_tolerance = 0.01
+let default_alloc_tolerance = 0.10
+
+let compare_datapoints ?(work_tolerance = default_work_tolerance)
+    ?(alloc_tolerance = default_alloc_tolerance) ~baseline ~current () =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun (base : entry) ->
+      match
+        List.find_opt (fun e -> e.entry_id = base.entry_id) current.entries
+      with
+      | None ->
+          fail "%s: entry disappeared from the bench (was score %d)"
+            base.entry_id (Work.score base.work)
+      | Some cur ->
+          let bscore = Work.score base.work and cscore = Work.score cur.work in
+          let limit =
+            float_of_int bscore *. (1.0 +. work_tolerance)
+          in
+          if float_of_int cscore > limit && cscore > bscore then
+            fail
+              "%s: work score regressed %d -> %d (+%.2f%%, tolerance %.2f%%)"
+              base.entry_id bscore cscore
+              (100.0
+              *. (float_of_int (cscore - bscore) /. float_of_int (max 1 bscore))
+              )
+              (100.0 *. work_tolerance);
+          if
+            base.allocated_bytes > 0.0
+            && cur.allocated_bytes
+               > base.allocated_bytes *. (1.0 +. alloc_tolerance)
+          then
+            fail
+              "%s: allocation regressed %.0f -> %.0f bytes (+%.1f%%, \
+               tolerance %.0f%%)"
+              base.entry_id base.allocated_bytes cur.allocated_bytes
+              (100.0
+              *. ((cur.allocated_bytes /. base.allocated_bytes) -. 1.0))
+              (100.0 *. alloc_tolerance))
+    baseline.entries;
+  match List.rev !failures with
+  | [] ->
+      Pass
+        (Printf.sprintf "%d entries within tolerance of baseline @%d"
+           (List.length baseline.entries) baseline.timestamp)
+  | fs -> Fail fs
+
+let gate ?work_tolerance ?alloc_tolerance ~dir ~bench () =
+  match history ~dir ~bench with
+  | [] -> Bootstrap (Printf.sprintf "no %s history under %s yet" bench dir)
+  | [ only ] ->
+      Bootstrap (Printf.sprintf "single datapoint %s — nothing to compare" only)
+  | files -> (
+      let rec last2 = function
+        | [ a; b ] -> (a, b)
+        | _ :: rest -> last2 rest
+        | [] -> assert false
+      in
+      let base_path, cur_path = last2 files in
+      match (load base_path, load cur_path) with
+      | Error msg, _ | _, Error msg -> Fail [ msg ]
+      | Ok baseline, Ok current ->
+          compare_datapoints ?work_tolerance ?alloc_tolerance ~baseline
+            ~current ())

@@ -26,10 +26,31 @@ let enabled () = Atomic.get on
    span nesting follows each domain's own call stack, so domains that
    trace concurrently each build their own forest instead of corrupting
    a shared one.  [to_json]/[to_string]/[reset] operate on the calling
-   domain's forest. *)
-type state = { mutable roots_rev : span list; mutable open_stack : span list }
+   domain's forest.
 
-let state_key = Domain.DLS.new_key (fun () -> { roots_rev = []; open_stack = [] })
+   Every domain's state is additionally registered (once, at first use)
+   in a process-global list so the Chrome trace exporter can emit one
+   track per domain.  The registration order assigns track ids; the
+   driving domain is almost always tid 0. *)
+type state = {
+  tid : int;
+  mutable roots_rev : span list;
+  mutable open_stack : span list;
+}
+
+let states_m = Mutex.create ()
+let all_states : state list ref = ref []
+let next_tid = ref 0
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock states_m;
+      let st = { tid = !next_tid; roots_rev = []; open_stack = [] } in
+      incr next_tid;
+      all_states := st :: !all_states;
+      Mutex.unlock states_m;
+      st)
+
 let state () = Domain.DLS.get state_key
 
 let reset () =
@@ -117,6 +138,82 @@ let rec span_to_json s =
   Json.Obj fields
 
 let to_json () = Json.List (List.rev_map span_to_json (state ()).roots_rev)
+
+(* ---------- Chrome trace-event export ----------
+
+   The catapult/Perfetto JSON format: one complete ("X") event per span
+   with microsecond timestamps, one track (tid) per domain, plus a
+   thread_name metadata record per track.  Timestamps are rebased to the
+   earliest recorded span so traces start near zero.  The export walks
+   every domain's forest; it is meant to run after the traced work has
+   completed (the pool's workers are idle between batches), like the
+   CLI's [--trace-out] does. *)
+
+let to_chrome_json () =
+  let states =
+    Mutex.lock states_m;
+    let ss = !all_states in
+    Mutex.unlock states_m;
+    List.sort (fun a b -> compare a.tid b.tid) ss
+  in
+  let epoch = ref Int64.max_int in
+  let scan_epoch st =
+    match List.rev st.roots_rev with
+    | [] -> ()
+    | first :: _ -> if first.start_ns < !epoch then epoch := first.start_ns
+  in
+  List.iter scan_epoch states;
+  let epoch = if !epoch = Int64.max_int then 0L else !epoch in
+  let us_of ns = Int64.to_float (Int64.sub ns epoch) /. 1e3 in
+  let events = ref [] in
+  let emit_event e = events := e :: !events in
+  let rec emit_span tid s =
+    let finish =
+      match s.end_ns with Some t -> t | None -> Clock.now_ns ()
+    in
+    let fields =
+      [
+        ("name", Json.Str s.name);
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (us_of s.start_ns));
+        ("dur", Json.Float (Int64.to_float (Int64.sub finish s.start_ns) /. 1e3));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+      ]
+    in
+    let fields =
+      if s.attrs = [] then fields else fields @ [ ("args", Json.Obj s.attrs) ]
+    in
+    emit_event (Json.Obj fields);
+    List.iter (emit_span tid) (List.rev s.children_rev)
+  in
+  List.iter
+    (fun st ->
+      if st.roots_rev <> [] || st.open_stack <> [] then begin
+        emit_event
+          (Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int st.tid);
+               ( "args",
+                 Json.Obj
+                   [
+                     ( "name",
+                       Json.Str
+                         (if st.tid = 0 then "main"
+                          else Printf.sprintf "domain-%d" st.tid) );
+                   ] );
+             ]);
+        List.iter (emit_span st.tid) (List.rev st.roots_rev)
+      end)
+    states;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
 
 let to_string () =
   let buf = Buffer.create 256 in

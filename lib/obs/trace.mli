@@ -51,3 +51,14 @@ val to_json : unit -> Json.t
 
 val to_string : unit -> string
 (** Indented human-readable tree, one span per line with milliseconds. *)
+
+val to_chrome_json : unit -> Json.t
+(** The whole process's span forests — every domain that ever traced,
+    not just the caller's — as a Chrome trace-event document
+    ([{"traceEvents": [..], "displayTimeUnit": "ms"}]) loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Each
+    domain gets its own track ([tid]) with a [thread_name] metadata
+    record; spans become complete ("X") events with microsecond
+    timestamps rebased to the earliest span.  Meant to be called after
+    the traced work has finished; still-open spans are exported with
+    their current elapsed time. *)

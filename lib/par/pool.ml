@@ -86,6 +86,13 @@ let run t n f =
   else begin
     let results = Array.make n None in
     let errors = Array.make n None in
+    (* Deterministic work accounting survives the fan-out: each task
+       runs against a fresh per-task accumulator on whatever domain
+       claimed it, and the caller absorbs every task's delta at the
+       barrier below.  Integer sums are order-independent, so the
+       caller-visible totals are bit-identical to the serial loop at any
+       pool size — the property the perf CI gate stands on. *)
+    let works = Array.make n None in
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let done_m = Mutex.create () in
@@ -96,9 +103,11 @@ let run t n f =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else begin
-          (match f i with
-          | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some e);
+          let work, outcome = Sjos_obs.Work.scoped (fun () -> f i) in
+          works.(i) <- Some work;
+          (match outcome with
+          | Ok v -> results.(i) <- Some v
+          | Error e -> errors.(i) <- Some e);
           (* the atomic increment publishes the slot writes above to the
              waiter, which reads [completed] before touching the arrays *)
           if Atomic.fetch_and_add completed 1 + 1 = n then begin
@@ -126,6 +135,9 @@ let run t n f =
     Mutex.lock t.m;
     if t.generation = my_gen then t.job <- None;
     Mutex.unlock t.m;
+    Array.iter
+      (function Some w -> Sjos_obs.Work.absorb w | None -> ())
+      works;
     let first_error = ref None in
     for i = n - 1 downto 0 do
       match errors.(i) with Some e -> first_error := Some e | None -> ()

@@ -14,7 +14,13 @@
     Nesting: calling {!run} from inside a pool task executes the inner
     batch inline on the calling domain (no new work is posted), so
     parallel code can freely call other parallel code without
-    deadlocking a fixed-size pool. *)
+    deadlocking a fixed-size pool.
+
+    Work accounting: each parallel task runs against a fresh
+    {!Sjos_obs.Work} accumulator, and {!run} absorbs every task's delta
+    into the calling domain at the barrier — so work counters observed
+    by the caller are bit-identical to running the same tasks serially,
+    at any pool size. *)
 
 type t
 

@@ -71,6 +71,8 @@ let evict_lru t =
 
 let touch t page =
   t.accesses <- t.accesses + 1;
+  let w = Sjos_obs.Work.current () in
+  w.Sjos_obs.Work.page_touches <- w.Sjos_obs.Work.page_touches + 1;
   match Hashtbl.find_opt t.table page with
   | Some cell ->
       t.hits <- t.hits + 1;

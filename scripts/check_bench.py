@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Schema checks for the BENCH_*.json files the bench harnesses write.
+
+Replaces the old `python3 -m json.tool` CI steps: well-formed JSON is
+necessary but nowhere near sufficient — a bench that silently ran zero
+queries still serializes cleanly.  Each checker asserts the keys CI's
+gates read, that the row lists are non-empty, and that counters which
+must be positive actually are.
+
+Usage: check_bench.py FILE [FILE...]
+The checker is picked from the file's basename; unknown names fail.
+"""
+
+import json
+import sys
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def need(obj, key, types):
+    if key not in obj:
+        raise CheckFailure(f"missing key {key!r}")
+    if not isinstance(obj[key], types):
+        raise CheckFailure(
+            f"key {key!r} has type {type(obj[key]).__name__}, "
+            f"wanted {types}"
+        )
+    return obj[key]
+
+
+def nonempty(seq, what):
+    if len(seq) == 0:
+        raise CheckFailure(f"{what} is empty — the bench ran nothing")
+    return seq
+
+
+NUM = (int, float)
+
+
+def check_bench_1(doc):
+    rows = nonempty(doc, "query list")
+    if not isinstance(rows, list):
+        raise CheckFailure("top level must be a list of per-query rows")
+    for row in rows:
+        need(row, "query", str)
+        need(row, "bad_plan", dict)
+        algos = nonempty(need(row, "algorithms", dict), "algorithms")
+        for name, cell in algos.items():
+            for key in ("plans_considered", "matches"):
+                if need(cell, key, NUM) < 0:
+                    raise CheckFailure(f"{row['query']}/{name}: {key} < 0")
+            for key in (
+                "opt_seconds",
+                "eval_seconds",
+                "est_cost_units",
+                "actual_cost_units",
+            ):
+                need(cell, key, NUM)
+
+
+def check_bench_cache(doc):
+    cells = nonempty(need(doc, "cells", list), "cells")
+    for cell in cells:
+        need(cell, "query", str)
+        need(cell, "algorithm", str)
+        need(cell, "cold_opt_seconds", NUM)
+        need(cell, "warm_opt_seconds", NUM)
+        need(cell, "speedup", NUM)
+    need(doc, "plan_cache", dict)
+
+
+def check_bench_guard(doc):
+    need(doc, "baseline", dict)
+    need(doc, "degraded", dict)
+    need(doc, "degraded_cost_ratio", NUM)
+    need(doc, "degraded_matches_identical", bool)
+    chaos = need(doc, "chaos", dict)
+    if need(chaos, "runs", int) <= 0:
+        raise CheckFailure("chaos sweep ran zero queries")
+    for key in ("ok", "structured_errors", "escaped_exceptions"):
+        need(chaos, key, int)
+    need(chaos, "lies_only_divergences", int)
+    need(chaos, "error_classes", dict)
+
+
+def check_work(work, where):
+    for key in (
+        "comparisons",
+        "tuples_emitted",
+        "items_skipped",
+        "candidates_scanned",
+        "stack_ops",
+        "io_items",
+        "sorted_items",
+        "expansions",
+        "plans_considered",
+        "page_touches",
+        "score",
+    ):
+        if need(work, key, int) < 0:
+            raise CheckFailure(f"{where}: work counter {key} < 0")
+    if work["score"] <= 0:
+        raise CheckFailure(f"{where}: work score is zero — nothing executed")
+
+
+def check_bench_perf(doc):
+    need(doc, "scale", NUM)
+    need(doc, "reps", int)
+    rows = nonempty(need(doc, "patterns", list), "patterns")
+    for row in rows:
+        pid = need(row, "id", str)
+        need(row, "identical_output", bool)
+        need(row, "work_identical", bool)
+        need(row, "repeat_deterministic", bool)
+        if need(row, "output_tuples", int) <= 0:
+            raise CheckFailure(f"{pid}: zero output tuples")
+        check_work(need(row, "legacy_work", dict), f"{pid}/legacy")
+        check_work(need(row, "columnar_work", dict), f"{pid}/columnar")
+        for key in (
+            "legacy_seconds",
+            "columnar_seconds",
+            "speedup",
+            "legacy_allocated_bytes",
+            "columnar_allocated_bytes",
+            "alloc_ratio",
+        ):
+            need(row, key, NUM)
+    shape = need(doc, "shape", dict)
+    for key in (
+        "identical_outputs",
+        "work_identical",
+        "repeat_deterministic",
+        "skip_ahead_active",
+        "no_alloc_regression",
+        "alloc_2x",
+        "pass",
+    ):
+        need(shape, key, bool)
+
+
+def check_bench_par(doc):
+    need(doc, "scale", NUM)
+    need(doc, "reps", int)
+    need(doc, "cores", int)
+    need(doc, "serial_seconds", NUM)
+    serial = need(doc, "serial", dict)
+    check_work(need(serial, "work", dict), "serial")
+    rows = nonempty(need(doc, "per_domain", list), "per_domain")
+    for row in rows:
+        d = need(row, "domains", int)
+        need(row, "seconds", NUM)
+        need(row, "speedup", NUM)
+        need(row, "identical", bool)
+        acct = need(row, "accounting", dict)
+        check_work(need(acct, "work", dict), f"domains={d}")
+        need(acct, "sharded_joins", int)
+        need(acct, "balance", NUM)
+    table2 = nonempty(need(doc, "table2_considered", dict), "table2_considered")
+    for name, considered in table2.items():
+        if not isinstance(considered, int) or considered <= 0:
+            raise CheckFailure(f"table2 {name}: bad considered count")
+    shape = need(doc, "shape", dict)
+    for key in (
+        "identical_outputs",
+        "counters_exact",
+        "work_identical_across_domains",
+        "sharding_active",
+        "shard_balanced",
+        "pass",
+    ):
+        need(shape, key, bool)
+    need(shape, "max_balance", NUM)
+
+
+CHECKERS = {
+    "BENCH_1.json": check_bench_1,
+    "BENCH_CACHE.json": check_bench_cache,
+    "BENCH_GUARD.json": check_bench_guard,
+    "BENCH_PERF.json": check_bench_perf,
+    "BENCH_PAR.json": check_bench_par,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        name = path.rsplit("/", 1)[-1]
+        checker = CHECKERS.get(name)
+        if checker is None:
+            print(f"check_bench: {path}: no checker for {name}", file=sys.stderr)
+            failed = True
+            continue
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            checker(doc)
+            print(f"check_bench: {path}: OK")
+        except (OSError, json.JSONDecodeError, CheckFailure) as exc:
+            print(f"check_bench: {path}: FAIL: {exc}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

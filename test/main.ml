@@ -18,5 +18,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("guard", Test_guard.suite);
       ("par", Test_par.suite);
+      ("work", Test_work.suite);
       ("properties", Test_properties.suite);
     ]
