@@ -242,6 +242,65 @@ let grid_opt =
           "Per-query positional-histogram grid override (1-4096; out of \
            range is rejected with exit code 3).")
 
+let backend_conv =
+  Arg.conv
+    ( (fun s ->
+        match Sjos_storage.Column_store.backend_of_string s with
+        | Ok b -> Ok b
+        | Error m -> Error (`Msg m)),
+      fun ppf b -> Fmt.string ppf (Sjos_storage.Column_store.backend_name b) )
+
+let storage_backend_opt =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "storage" ] ~docv:"BACKEND"
+        ~doc:
+          "Column storage backend: 'mem' (resident candidate columns) or            'disk' (out-of-core: per-tag columns in a binary page file, read            through an LRU buffer pool; queries fault in only the pages their            joins touch).  Defaults to the SJOS_STORAGE environment variable,            or mem.")
+
+let pool_pages_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-pages" ] ~docv:"N"
+        ~doc:
+          "Buffer-pool capacity in pages for $(b,--storage disk) (default            256).")
+
+let page_size_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "page-size" ] ~docv:"N"
+        ~doc:
+          "Page size in items (8-byte ints) for $(b,--storage disk) (default            1024, i.e. 8 KiB pages).")
+
+let storage_config backend pool_pages page_size =
+  match backend with
+  | None -> None
+  | Some Sjos_storage.Column_store.Mem -> Some Sjos_storage.Column_store.mem
+  | Some Sjos_storage.Column_store.Disk ->
+      Some (Sjos_storage.Column_store.disk ?page_size ?pool_pages ())
+
+let io_stats_json db =
+  match Sjos_storage.Column_store.io_stats (Database.store db) with
+  | None -> Sjos_obs.Json.Null
+  | Some s ->
+      Sjos_obs.Json.Obj
+        [
+          ("accesses", Sjos_obs.Json.Int s.Sjos_storage.Pager.accesses);
+          ("hits", Sjos_obs.Json.Int s.Sjos_storage.Pager.hits);
+          ("misses", Sjos_obs.Json.Int s.Sjos_storage.Pager.misses);
+          ("evictions", Sjos_obs.Json.Int s.Sjos_storage.Pager.evictions);
+        ]
+
+let print_io_stats db =
+  match Sjos_storage.Column_store.io_stats (Database.store db) with
+  | None -> ()
+  | Some s ->
+      Fmt.pr "io: %d page accesses, %d hits, %d misses, %d evictions@."
+        s.Sjos_storage.Pager.accesses s.Sjos_storage.Pager.hits
+        s.Sjos_storage.Pager.misses s.Sjos_storage.Pager.evictions
+
 let domains_opt =
   Arg.(
     value
@@ -254,9 +313,13 @@ let domains_opt =
 
 let query_cmd =
   let run pattern file algorithm limit show xpath trace trace_out json no_cache
-      deadline_ms max_expanded grid domains =
+      deadline_ms max_expanded grid domains storage pool_pages page_size =
     guarded @@ fun () ->
-    let db = Database.load_file file in
+    let db =
+      Database.load_file
+        ?storage:(storage_config storage pool_pages page_size)
+        file
+    in
     let p = parse_pattern ~xpath pattern in
     let pool = Option.map (fun n -> Sjos_par.Pool.create ~domains:n ()) domains in
     Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
@@ -288,6 +351,7 @@ let query_cmd =
           ( "metrics",
             Sjos_exec.Metrics.to_json
               run.Database.exec.Sjos_exec.Executor.metrics );
+          ("io", io_stats_json db);
         ]
       in
       let fields =
@@ -325,6 +389,7 @@ let query_cmd =
         tuples;
       if Array.length tuples > show then
         Fmt.pr "  ... (%d more; raise --show)@." (Array.length tuples - show);
+      print_io_stats db;
       if trace then Fmt.pr "@.%s@." (Sjos_obs.Report.to_string ())
     end
   in
@@ -345,7 +410,8 @@ let query_cmd =
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
       $ trace_flag $ trace_out_opt $ json_flag $ no_cache_flag $ deadline_opt
-      $ max_expanded_opt $ grid_opt $ domains_opt)
+      $ max_expanded_opt $ grid_opt $ domains_opt $ storage_backend_opt
+      $ pool_pages_opt $ page_size_opt)
 
 (* ---------- explain ---------- *)
 
@@ -364,9 +430,13 @@ let explain_cmd =
 
 let analyze_cmd =
   let run pattern file algorithm limit xpath trace trace_out json deadline_ms
-      max_expanded =
+      max_expanded storage pool_pages page_size =
     guarded @@ fun () ->
-    let db = Database.load_file file in
+    let db =
+      Database.load_file
+        ?storage:(storage_config storage pool_pages page_size)
+        file
+    in
     let p = parse_pattern ~xpath pattern in
     let opts =
       Query_opts.make ~algorithm ?max_tuples:limit
@@ -390,6 +460,7 @@ let analyze_cmd =
           ("operators", Sjos_plan.Explain.analysis_to_json p a.Database.rows);
           ( "metrics",
             Sjos_exec.Metrics.to_json exec.Sjos_exec.Executor.metrics );
+          ("io", io_stats_json db);
         ]
       in
       let fields =
@@ -411,6 +482,7 @@ let analyze_cmd =
         a.Database.opt.Sjos_core.Optimizer.plans_considered
         a.Database.opt.Sjos_core.Optimizer.est_cost
         exec.Sjos_exec.Executor.cost_units;
+      print_io_stats db;
       if trace then Fmt.pr "@.%s@." (Sjos_obs.Report.to_string ())
     end
   in
@@ -430,7 +502,8 @@ let analyze_cmd =
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
       $ trace_flag $ trace_out_opt $ json_flag $ deadline_opt
-      $ max_expanded_opt)
+      $ max_expanded_opt $ storage_backend_opt $ pool_pages_opt
+      $ page_size_opt)
 
 (* ---------- repl ---------- *)
 
@@ -512,9 +585,14 @@ let repl_cmd =
 (* ---------- metrics ---------- *)
 
 let metrics_cmd =
-  let run pattern file algorithm xpath no_cache domains =
+  let run pattern file algorithm xpath no_cache domains storage pool_pages
+      page_size =
     guarded @@ fun () ->
-    let db = Database.load_file file in
+    let db =
+      Database.load_file
+        ?storage:(storage_config storage pool_pages page_size)
+        file
+    in
     let p = parse_pattern ~xpath pattern in
     let pool = Option.map (fun n -> Sjos_par.Pool.create ~domains:n ()) domains in
     Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
@@ -539,6 +617,7 @@ let metrics_cmd =
                 Int (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
               );
               ("work", Sjos_obs.Work.to_json work);
+              ("io", io_stats_json db);
               ("gc", Sjos_obs.Work.gc_to_json (Sjos_obs.Work.gc_snapshot ()));
               ("registry", Sjos_obs.Registry.to_json ());
             ]))
@@ -551,7 +630,8 @@ let metrics_cmd =
           every registry instrument")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag
-      $ no_cache_flag $ domains_opt)
+      $ no_cache_flag $ domains_opt $ storage_backend_opt $ pool_pages_opt
+      $ page_size_opt)
 
 (* ---------- perf-gate ---------- *)
 

@@ -23,6 +23,17 @@ let stack_tree_anc f ~anc ~output =
 
 let stack_tree_desc f ~anc = 2.0 *. anc *. f.f_stack
 
+let ground_io ?(per_miss = default.f_io) f ~page_misses ~io_items =
+  if page_misses < 0 || io_items < 0 then
+    invalid_arg "Cost_model.ground_io: negative counter";
+  if per_miss < 0. then invalid_arg "Cost_model.ground_io: negative per_miss";
+  if page_misses = 0 || io_items = 0 then f
+  else
+    {
+      f with
+      f_io = per_miss *. float_of_int page_misses /. float_of_int io_items;
+    }
+
 let pp_factors ppf f =
   Fmt.pf ppf "f_I=%g f_s=%g f_IO=%g f_st=%g" f.f_index f.f_sort f.f_io
     f.f_stack

@@ -21,6 +21,13 @@ type t = {
   mutable factors : Cost_model.factors;
   mutable grid : int;
   plan_cache : Plan_cache.t;
+  store : Column_store.t;
+  (* Per-query [Query_opts.storage] overrides resolve through a small
+     config-keyed memo, so repeated overridden queries share one store
+     (and, for Disk, one on-disk file set) instead of rewriting the
+     column file per query. *)
+  stores_m : Mutex.t;
+  mutable extra_stores : (Column_store.config * Column_store.t) list;
 }
 
 (* A grid of g costs O(g^2) cells per histogram: an absurd request is an
@@ -34,26 +41,64 @@ let validate_grid grid =
          (Printf.sprintf "histogram grid %d out of range 1..%d" grid max_grid))
 
 let of_document ?(factors = Cost_model.default) ?(grid = 32)
-    ?(cache_capacity = 256) doc =
+    ?(cache_capacity = 256) ?storage doc =
   validate_grid grid;
+  let storage =
+    match storage with Some c -> c | None -> Column_store.config_of_env ()
+  in
+  let index = Element_index.build doc in
   {
     doc;
-    index = Element_index.build doc;
+    index;
     stats_m = Mutex.create ();
     stats_v = None;
     factors;
     grid;
     plan_cache = Plan_cache.create ~capacity:cache_capacity ();
+    store = Column_store.create ~config:storage index;
+    stores_m = Mutex.create ();
+    extra_stores = [];
   }
 
-let of_string ?factors ?grid ?cache_capacity s =
-  of_document ?factors ?grid ?cache_capacity (Parser.parse_string s)
+let of_string ?factors ?grid ?cache_capacity ?storage s =
+  of_document ?factors ?grid ?cache_capacity ?storage (Parser.parse_string s)
 
-let load_file ?factors ?grid ?cache_capacity p =
-  of_document ?factors ?grid ?cache_capacity (Parser.parse_file p)
+let load_file ?factors ?grid ?cache_capacity ?storage p =
+  of_document ?factors ?grid ?cache_capacity ?storage (Parser.parse_file p)
 
 let document t = t.doc
 let index t = t.index
+let store t = t.store
+
+let store_for t (opts : Query_opts.t) =
+  match opts.Query_opts.storage with
+  | None -> t.store
+  | Some c when Column_store.config_equal c (Column_store.config t.store) ->
+      t.store
+  | Some c ->
+      Mutex.lock t.stores_m;
+      let s =
+        match
+          List.find_opt
+            (fun (c', _) -> Column_store.config_equal c c')
+            t.extra_stores
+        with
+        | Some (_, s) -> s
+        | None ->
+            let s = Column_store.create ~config:c t.index in
+            t.extra_stores <- (c, s) :: t.extra_stores;
+            s
+      in
+      Mutex.unlock t.stores_m;
+      s
+
+let dispose t =
+  Mutex.lock t.stores_m;
+  let extras = t.extra_stores in
+  t.extra_stores <- [];
+  Mutex.unlock t.stores_m;
+  List.iter (fun (_, s) -> Column_store.dispose s) extras;
+  Column_store.dispose t.store
 
 let stats t =
   Mutex.lock t.stats_m;
@@ -71,7 +116,7 @@ let stats t =
 (* Build every lazily cached read-side structure up front, so that
    queries fanned out across domains afterwards touch only read paths. *)
 let warm t =
-  ignore (Document.columns t.doc);
+  ignore (Document.positions t.doc);
   Element_index.warm t.index;
   ignore (stats t)
 let factors t = t.factors
@@ -284,8 +329,8 @@ let prepared_from_cache p = p.pcached
 type query_run = { opt : Optimizer.result; exec : Executor.run }
 
 let execute_plan ?budget ?max_tuples ?pool t pat plan =
-  Executor.execute ~factors:t.factors ?budget ?max_tuples ?pool t.index pat
-    plan
+  Executor.execute ~factors:t.factors ?budget ?max_tuples ?pool ~store:t.store
+    t.index pat plan
 
 let exec p =
   refresh p;
@@ -296,8 +341,9 @@ let exec p =
       ~budget:p.popts.Query_opts.budget
       ?max_tuples:p.popts.Query_opts.max_tuples
       ?fetch:(chaos_fetch t p.pchaos)
-      ?pool:p.popts.Query_opts.pool t.index p.ppattern
-      p.presult.Optimizer.plan
+      ?pool:p.popts.Query_opts.pool
+      ~store:(store_for t p.popts)
+      t.index p.ppattern p.presult.Optimizer.plan
   in
   { opt = p.presult; exec }
 

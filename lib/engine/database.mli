@@ -36,16 +36,24 @@ val of_document :
   ?factors:Sjos_cost.Cost_model.factors ->
   ?grid:int ->
   ?cache_capacity:int ->
+  ?storage:Column_store.config ->
   Document.t ->
   t
 (** Index a document and prepare it for querying.  [grid] is the
     positional-histogram resolution (default 32); [cache_capacity] bounds
-    the plan cache (default 256 entries). *)
+    the plan cache (default 256 entries).
+
+    [storage] selects the column storage backend queries read candidate
+    streams through, defaulting to
+    {!Sjos_storage.Column_store.config_of_env} ([SJOS_STORAGE=mem|disk],
+    mem when unset).  A [Disk] store writes the per-tag column file at
+    this point — a load-time cost proportional to document size. *)
 
 val of_string :
   ?factors:Sjos_cost.Cost_model.factors ->
   ?grid:int ->
   ?cache_capacity:int ->
+  ?storage:Column_store.config ->
   string ->
   t
 (** Parse XML text and index it. *)
@@ -54,11 +62,23 @@ val load_file :
   ?factors:Sjos_cost.Cost_model.factors ->
   ?grid:int ->
   ?cache_capacity:int ->
+  ?storage:Column_store.config ->
   string ->
   t
 
 val document : t -> Document.t
 val index : t -> Element_index.t
+
+val store : t -> Column_store.t
+(** The database's column store — inspect {!Column_store.io_stats} after
+    Disk-backed runs, or {!Column_store.reset_io} to cold-start the
+    pool. *)
+
+val dispose : t -> unit
+(** Dispose the database's store and every memoized per-query override
+    store (deleting Disk files).  The database must not be queried
+    afterwards under a Disk configuration; Mem queries are unaffected.
+    Idempotent. *)
 
 val stats : t -> Stats.t
 (** Document statistics, computed once on first use (mutex-guarded memo —

@@ -11,6 +11,7 @@ type t = {
   budget : Budget.t;
   chaos : Chaos.t option;
   pool : Sjos_par.Pool.t option;
+  storage : Sjos_storage.Column_store.config option;
 }
 
 let default =
@@ -23,11 +24,12 @@ let default =
     budget = Budget.unlimited;
     chaos = None;
     pool = None;
+    storage = None;
   }
 
 let make ?(algorithm = Optimizer.Dpp) ?max_tuples ?(use_cache = true) ?factors
-    ?grid ?(budget = Budget.unlimited) ?chaos ?pool () =
-  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos; pool }
+    ?grid ?(budget = Budget.unlimited) ?chaos ?pool ?storage () =
+  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos; pool; storage }
 
 let with_algorithm t algorithm = { t with algorithm }
 let with_max_tuples t max_tuples = { t with max_tuples }
@@ -37,6 +39,7 @@ let with_grid t grid = { t with grid }
 let with_budget t budget = { t with budget }
 let with_chaos t chaos = { t with chaos }
 let with_pool t pool = { t with pool }
+let with_storage t storage = { t with storage }
 let cold t = { t with use_cache = false }
 
 let to_json t =
@@ -57,10 +60,14 @@ let to_json t =
         match t.pool with
         | Some p -> Json.Int (Sjos_par.Pool.size p)
         | None -> Json.Null );
+      ( "storage",
+        match t.storage with
+        | Some c -> Sjos_storage.Column_store.config_to_json c
+        | None -> Json.Null );
     ]
 
 let pp ppf t =
-  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s%s}"
+  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s%s%s}"
     (Optimizer.name t.algorithm)
     Fmt.(option ~none:(any "none") int)
     t.max_tuples t.use_cache
@@ -73,4 +80,7 @@ let pp ppf t =
     | None -> "")
     (match t.pool with
     | Some p -> Fmt.str "; domains=%d" (Sjos_par.Pool.size p)
+    | None -> "")
+    (match t.storage with
+    | Some c -> Fmt.str "; storage=%a" Sjos_storage.Column_store.pp_config c
     | None -> "")

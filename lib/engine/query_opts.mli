@@ -28,6 +28,14 @@ type t = {
           (the default) falls back to {!Sjos_par.Pool.get_default},
           which is serial unless [SJOS_DOMAINS] says otherwise.
           Results are bit-identical for every pool size. *)
+  storage : Sjos_storage.Column_store.config option;
+      (** column storage backend override for this query; [None] (the
+          default) uses the database's own store.  A [Some] config is
+          resolved by the database against a small per-config store
+          memo, so repeated queries with the same override reuse one
+          store (and one on-disk file set).  Outputs and all counters
+          except page/IO accounting are backend-independent, so plan
+          caching stays on. *)
 }
 
 val default : t
@@ -43,6 +51,7 @@ val make :
   ?budget:Sjos_guard.Budget.t ->
   ?chaos:Sjos_guard.Chaos.t ->
   ?pool:Sjos_par.Pool.t ->
+  ?storage:Sjos_storage.Column_store.config ->
   unit ->
   t
 
@@ -54,6 +63,7 @@ val with_grid : t -> int option -> t
 val with_budget : t -> Sjos_guard.Budget.t -> t
 val with_chaos : t -> Sjos_guard.Chaos.t option -> t
 val with_pool : t -> Sjos_par.Pool.t option -> t
+val with_storage : t -> Sjos_storage.Column_store.config option -> t
 
 val cold : t -> t
 (** The same options with caching off — always a fresh optimizer search. *)

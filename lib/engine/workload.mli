@@ -15,6 +15,15 @@ val default_size : dataset -> int
     Mbench 60k, DBLP 50k, Pers 5k — scaled-down but with the same size
     ordering as the paper's 740k / 500k / 5k. *)
 
+val paper_size : dataset -> int
+(** The paper's §4.1 document sizes: Mbench 740k, DBLP 500k, Pers 5k
+    elements.  [bench/bench_io] runs the Disk backend at this scale when
+    asked ([SJOS_IO_PAPER=1]). *)
+
+val stress_size : dataset -> int
+(** An order of magnitude past the paper (Mbench 10M elements) for
+    out-of-core stress runs; generation alone takes a while. *)
+
 val generate : ?size:int -> dataset -> Document.t
 (** Deterministic synthetic document for the data set. *)
 

@@ -106,7 +106,7 @@ let key_of_id ~what (starts : int array) id =
   else Array.unsafe_get starts id
 
 let sort ~doc ~by b =
-  let { Document.starts; _ } = Document.columns doc in
+  let { Cols.starts; _ } = Document.positions doc in
   let n = b.len and w = b.width in
   let keys = Array.make n 0 in
   for i = 0 to n - 1 do
@@ -121,7 +121,7 @@ let sort ~doc ~by b =
   { width = w; len = n; data }
 
 let sort_tuples ~doc ~by (tuples : Tuple.t array) =
-  let { Document.starts; _ } = Document.columns doc in
+  let { Cols.starts; _ } = Document.positions doc in
   let n = Array.length tuples in
   let keys = Array.make n 0 in
   for i = 0 to n - 1 do

@@ -30,7 +30,7 @@ let op_span_name = function
    records.  An id the document does not know is reported as corrupt
    rather than joined blindly. *)
 let verify_document_order ~doc ~what candidates =
-  let { Sjos_xml.Document.starts; _ } = Sjos_xml.Document.columns doc in
+  let { Sjos_xml.Cols.starts; _ } = Sjos_xml.Document.positions doc in
   let size = Array.length starts in
   let n = Array.length candidates in
   let prev = ref min_int in
@@ -76,7 +76,7 @@ type 'r engine = {
 }
 
 let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
-    ?max_tuples ?fetch ?(kernel = `Columnar) ?pool index pat plan =
+    ?max_tuples ?fetch ?(kernel = `Columnar) ?pool ?store index pat plan =
   (match Properties.validate pat plan with
   | Ok () -> ()
   | Error msg -> Error.fail (Error.Invalid_plan msg));
@@ -87,28 +87,29 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
   let pool =
     match pool with Some p -> p | None -> Sjos_par.Pool.get_default ()
   in
+  (* No explicit store means the Mem backend over this index — exactly
+     the pre-Column_store behavior (and a cheap wrapper to build).
+     Backend selection is the caller's job: {!Sjos_engine.Database}
+     threads its configured store through here. *)
+  let store =
+    match store with
+    | Some s ->
+        if Column_store.index s != index then
+          invalid_arg "Executor.execute: store built over a different index";
+        s
+    | None -> Column_store.create ~config:Column_store.mem index
+  in
   let doc = Element_index.document index in
   let width = Pattern.node_count pat in
   let metrics = Metrics.create () in
   let candidates_for i =
     let spec = Pattern.label pat i in
     match fetch with
-    | None -> Candidate.select index spec
+    | None -> Column_store.select_nodes store spec
     | Some f ->
         verify_document_order ~doc
           ~what:(Printf.sprintf "candidates(%s)" (Candidate.spec_to_string spec))
           (f spec)
-  in
-  let candidate_cols_for i =
-    let spec = Pattern.label pat i in
-    match fetch with
-    | None -> Candidate.select_cols index spec
-    | Some f ->
-        Element_index.columns_of_nodes
-          (verify_document_order ~doc
-             ~what:
-               (Printf.sprintf "candidates(%s)" (Candidate.spec_to_string spec))
-             (f spec))
   in
   let t0 = Clock.now_ns () in
   (* Each operator gets its own metrics and its own (monotonic) self time,
@@ -195,28 +196,58 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
   let tuples, profile =
     match kernel with
     | `Columnar ->
+        (* The columnar engine's row representation is {!Stack_tree.input}:
+           a leaf scan on the Disk backend stays a lazy handle all the way
+           into the join, so only the pages the skip-ahead merge examines
+           are ever read.  Scan accounting is identical either way — one
+           index item per candidate, leaf length answered from the
+           catalog. *)
+        let scan_input own i =
+          let spec = Pattern.label pat i in
+          match fetch with
+          | Some f ->
+              Stack_tree.Rows
+                (Operators.index_scan_batch ~metrics:own ~width ~slot:i
+                   (Sjos_xml.Cols.of_nodes
+                      (verify_document_order ~doc
+                         ~what:
+                           (Printf.sprintf "candidates(%s)"
+                              (Candidate.spec_to_string spec))
+                         (f spec))))
+          | None -> (
+              match Column_store.leaf store spec with
+              | Some lf ->
+                  own.Metrics.index_items <-
+                    own.Metrics.index_items + Column_store.leaf_length lf;
+                  Stack_tree.leaf ~width ~slot:i lf
+              | None ->
+                  Stack_tree.Rows
+                    (Operators.index_scan_batch ~metrics:own ~width ~slot:i
+                       (Column_store.select store spec)))
+        in
         run_with
           {
-            scan =
-              (fun own i ->
-                Operators.index_scan_batch ~metrics:own ~width ~slot:i
-                  (candidate_cols_for i));
+            scan = scan_input;
             sort_op =
-              (fun own by b -> Operators.sort_batch ~budget ~metrics:own ~doc ~by b);
+              (fun own by r ->
+                Stack_tree.Rows
+                  (Operators.sort_batch ~budget ~metrics:own ~doc ~by
+                     (Stack_tree.to_batch r)));
             join_op =
               (fun own edge algo a d ->
-                Stack_tree.join_batch ~budget ~pool ~metrics:own ~doc
-                  ~axis:edge.Pattern.axis ~algo
-                  ~anc:(a, edge.Pattern.anc)
-                  ~desc:(d, edge.Pattern.desc) ());
+                Stack_tree.Rows
+                  (Stack_tree.join_batch_in ~budget ~pool ~metrics:own ~doc
+                     ~axis:edge.Pattern.axis ~algo
+                     ~anc:(a, edge.Pattern.anc)
+                     ~desc:(d, edge.Pattern.desc) ()));
             root_join =
               (fun own edge algo a d ->
-                Stack_tree.join_root ~budget ~pool ~metrics:own ~doc
+                Stack_tree.join_root_in ~budget ~pool ~metrics:own ~doc
                   ~axis:edge.Pattern.axis ~algo
                   ~anc:(a, edge.Pattern.anc)
                   ~desc:(d, edge.Pattern.desc) ());
-            rows = Batch.length;
-            to_tuples = Batch.to_tuples;
+            rows = Stack_tree.input_rows;
+            to_tuples = (fun r -> Batch.to_tuples (Stack_tree.to_batch r));
           }
     | `Legacy ->
         run_with

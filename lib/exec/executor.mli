@@ -32,6 +32,7 @@ val execute :
   ?fetch:(Candidate.spec -> Sjos_xml.Node.t array) ->
   ?kernel:kernel ->
   ?pool:Sjos_par.Pool.t ->
+  ?store:Column_store.t ->
   Element_index.t ->
   Pattern.t ->
   Plan.t ->
@@ -53,6 +54,16 @@ val execute :
     ([Tuples_materialized { limit; count }]).  [max_tuples] is merged
     into [budget] (minimum wins); both default to unlimited, which costs
     nothing on the hot path.
+
+    [store] supplies the column storage backend candidate streams are
+    read through (defaulting to a Mem store over [index], which
+    reproduces the pre-{!Column_store} behavior exactly).  With a Disk
+    store, the columnar engine keeps pure-tag leaf scans lazy into the
+    join kernels — only the pages the skip-ahead merge examines are
+    read — while predicate scans charge a full scan of their tag's
+    segments.  Outputs and all counters except page/IO accounting are
+    backend-independent.  Raises [Invalid_argument] if the store was
+    built over a different index.
 
     [fetch] overrides where candidate streams come from (fault
     injection, plan hints, alternative storage tiers).  Externally

@@ -5,10 +5,10 @@ let index_scan ~metrics ~width ~slot candidates =
     metrics.Metrics.index_items + Array.length candidates;
   Array.map (fun node -> Tuple.singleton ~width slot node) candidates
 
-let index_scan_batch ~metrics ~width ~slot (cols : Element_index.columns) =
+let index_scan_batch ~metrics ~width ~slot (cols : Cols.t) =
   metrics.Metrics.index_items <-
-    metrics.Metrics.index_items + Array.length cols.Element_index.ids;
-  Batch.of_ids ~width ~slot cols.Element_index.ids
+    metrics.Metrics.index_items + Array.length cols.Cols.ids;
+  Batch.of_ids ~width ~slot cols.Cols.ids
 
 let account_sort ~metrics n =
   metrics.Metrics.sorts <- metrics.Metrics.sorts + 1;

@@ -10,7 +10,7 @@ val index_scan :
     Accounts one index item per candidate. *)
 
 val index_scan_batch :
-  metrics:Metrics.t -> width:int -> slot:int -> Element_index.columns -> Batch.t
+  metrics:Metrics.t -> width:int -> slot:int -> Cols.t -> Batch.t
 (** The columnar equivalent: binds the candidate [ids] column directly
     into batch rows without materializing per-tuple arrays.  Same
     accounting as {!index_scan}. *)

@@ -1,4 +1,5 @@
 open Sjos_xml
+open Sjos_storage
 open Sjos_plan
 open Sjos_guard
 module Ibuf = Batch.Ibuf
@@ -26,22 +27,38 @@ module Registry = Sjos_obs.Registry
    [off] has [n + 1] meaningful entries delimiting each group's row
    range.  The arrays are sized for the worst case (one group per row)
    and filled in one pass — growth-free, so grouping costs a handful of
-   ns per input row; entries past [n] are unused. *)
+   ns per input row; entries past [n] are unused.
+
+   The [e_*] closures are the out-of-core hook: before the merge reads a
+   group's metadata or a row range it calls the matching closure, which
+   for a disk-backed leaf faults the covering pages in through the
+   buffer pool ({!Column_store.ensure_meta} and friends).  In-memory
+   groups carry shared no-op closures, so the resident hot path pays one
+   indirect call per ensured access and nothing else.  Once a slot has
+   been decoded its value persists even if the pool later evicts the
+   backing page (re-reads are idempotent), so stacked ancestor groups
+   ensured at push time stay readable for the whole merge. *)
 type groups = {
   n : int;
   off : int array;
   gstart : int array;  (* join-node start positions, strictly increasing *)
   gend : int array;
   glevel : int array;
+  e_meta : int -> unit;  (* fault group [g]'s start/end/level *)
+  e_probe : int -> unit;  (* fault group [g]'s start only (gallop probe) *)
+  e_rows : int -> int -> unit;  (* fault absolute row range [lo, hi) *)
 }
 
-let group ~(cols : Document.columns) (b : Batch.t) slot =
+let no_ensure (_ : int) = ()
+let no_ensure2 (_ : int) (_ : int) = ()
+
+let group ~(cols : Cols.t) (b : Batch.t) slot =
   let width = Batch.width b and data = Batch.data b and len = Batch.length b in
   if len > 0 && (slot < 0 || slot >= width) then
     invalid_arg "Stack_tree: join slot out of range";
-  let starts = cols.Document.starts
-  and ends = cols.Document.ends
-  and levels = cols.Document.levels in
+  let starts = cols.Cols.starts
+  and ends = cols.Cols.ends
+  and levels = cols.Cols.levels in
   let size = Array.length starts in
   let off = Array.make (len + 1) 0
   and gstart = Array.make len 0
@@ -70,11 +87,23 @@ let group ~(cols : Document.columns) (b : Batch.t) slot =
     end
   done;
   off.(!n) <- len;
-  { n = !n; off; gstart; gend; glevel }
+  {
+    n = !n;
+    off;
+    gstart;
+    gend;
+    glevel;
+    e_meta = no_ensure;
+    e_probe = no_ensure;
+    e_rows = no_ensure2;
+  }
 
 (* Groups [lo, hi) as a shard-local view.  Row offsets stay absolute
    (they index the shared batch data), only the group indexing is
-   rebased. *)
+   rebased.  Sharded slices always run over fully-forced inputs (see
+   {!shard_cuts}), so the views carry no-op ensure closures — per-shard
+   lazy faulting would make page accounting depend on domain
+   interleaving. *)
 let sub_groups (g : groups) lo hi =
   {
     n = hi - lo;
@@ -82,7 +111,118 @@ let sub_groups (g : groups) lo hi =
     gstart = Array.sub g.gstart lo (hi - lo);
     gend = Array.sub g.gend lo (hi - lo);
     glevel = Array.sub g.glevel lo (hi - lo);
+    e_meta = no_ensure;
+    e_probe = no_ensure;
+    e_rows = no_ensure2;
   }
+
+(* ---------- inputs: resident batches or disk-backed leaves ---------- *)
+
+(* A leaf input is one tag's candidate columns served lazily by a
+   {!Column_store.leaf}: the merge faults in group metadata for groups
+   it actually examines, single [starts] probes for gallop skips, and
+   [ids] only for rows that reach an emitted pair.  Row data is exposed
+   to the shared emit machinery as the same flat [width * n] array a
+   materialized scan would produce ([slot] bound, everything else
+   [Tuple.unbound]); the [ids] column is copied in chunk-at-a-time as
+   emits demand it, tracked by one fill flag per chunk. *)
+
+let leaf_chunk = 256
+
+type leaf_input = {
+  lf : Column_store.leaf;
+  lwidth : int;
+  lslot : int;
+  ldata : int array;
+  lfill : Bytes.t;  (* per-chunk fill flags over [ldata] rows *)
+}
+
+type input = Rows of Batch.t | Leaf of leaf_input
+
+let leaf ~width ~slot lf =
+  if slot < 0 || slot >= width then
+    invalid_arg "Stack_tree: join slot out of range";
+  let n = Column_store.leaf_length lf in
+  Leaf
+    {
+      lf;
+      lwidth = width;
+      lslot = slot;
+      ldata = Array.make (max 1 (n * width)) Tuple.unbound;
+      lfill = Bytes.make (max 1 ((n + leaf_chunk - 1) / leaf_chunk)) '\000';
+    }
+
+let fill_rows (l : leaf_input) lo hi =
+  if hi > lo then begin
+    let n = Column_store.leaf_length l.lf in
+    let w = l.lwidth and slot = l.lslot in
+    let c0 = lo / leaf_chunk and c1 = (hi - 1) / leaf_chunk in
+    for c = c0 to c1 do
+      if Bytes.unsafe_get l.lfill c = '\000' then begin
+        let r0 = c * leaf_chunk in
+        let r1 = min n (r0 + leaf_chunk) in
+        Column_store.ensure_ids l.lf r0 r1;
+        let ids = (Column_store.leaf_cols l.lf).Cols.ids in
+        for r = r0 to r1 - 1 do
+          Array.unsafe_set l.ldata ((r * w) + slot) (Array.unsafe_get ids r)
+        done;
+        Bytes.unsafe_set l.lfill c '\001'
+      end
+    done
+  end
+
+let force_leaf (l : leaf_input) =
+  ignore (Column_store.force l.lf);
+  fill_rows l 0 (Column_store.leaf_length l.lf)
+
+(* Candidate ids from the store are strictly increasing (document
+   order), so every row is its own group and [off] is the identity —
+   the exact grouping {!group} computes for the materialized scan.  The
+   metadata columns alias the leaf's buffer frames; slots become
+   readable as the ensure closures fault them in.  [e_meta]/[e_probe]
+   memoize their last index: the merge re-ensures the current group on
+   every iteration, and one [ref] comparison keeps that re-entry off
+   the pool. *)
+let leaf_groups (l : leaf_input) =
+  let c = Column_store.leaf_cols l.lf in
+  let n = Column_store.leaf_length l.lf in
+  let last_meta = ref (-1) and last_probe = ref (-1) in
+  {
+    n;
+    off = Array.init (n + 1) Fun.id;
+    gstart = c.Cols.starts;
+    gend = c.Cols.ends;
+    glevel = c.Cols.levels;
+    e_meta =
+      (fun g ->
+        if g <> !last_meta then begin
+          Column_store.ensure_meta l.lf g (g + 1);
+          last_meta := g
+        end);
+    e_probe =
+      (fun g ->
+        if g <> !last_probe then begin
+          Column_store.ensure_probe l.lf g;
+          last_probe := g
+        end);
+    e_rows = (fun lo hi -> fill_rows l lo hi);
+  }
+
+let input_width = function Rows b -> Batch.width b | Leaf l -> l.lwidth
+
+let input_rows = function
+  | Rows b -> Batch.length b
+  | Leaf l -> Column_store.leaf_length l.lf
+
+let input_data = function Rows b -> Batch.data b | Leaf l -> l.ldata
+
+let to_batch = function
+  | Rows b -> b
+  | Leaf l ->
+      force_leaf l;
+      Batch.unsafe_of_raw ~width:l.lwidth
+        ~len:(Column_store.leaf_length l.lf)
+        l.ldata
 
 (* ---------- shared merge machinery ---------- *)
 
@@ -96,12 +236,25 @@ let poll_merge ~budget iters =
 
 (* First index in [lo, hi) whose value is >= [target]; [hi] if none.
    Exponential probe followed by binary search, so a jump over [d] items
-   costs O(log d) instead of O(d). *)
-let gallop (a : int array) lo hi target =
-  if lo >= hi || Array.unsafe_get a lo >= target then lo
+   costs O(log d) instead of O(d).  [probe] faults each examined index in
+   before its value is read (a no-op for resident inputs) — the skip
+   over [d] items therefore costs O(log d) page touches too, which is
+   exactly the out-of-core saving the IO bench measures. *)
+let gallop ~probe (a : int array) lo hi target =
+  if
+    lo >= hi
+    ||
+    (probe lo;
+     Array.unsafe_get a lo >= target)
+  then lo
   else begin
     let prev = ref lo and cur = ref (lo + 1) and step = ref 1 in
-    while !cur < hi && Array.unsafe_get a !cur < target do
+    while
+      !cur < hi
+      &&
+      (probe !cur;
+       Array.unsafe_get a !cur < target)
+    do
       prev := !cur;
       step := !step * 2;
       cur := !cur + !step
@@ -111,6 +264,7 @@ let gallop (a : int array) lo hi target =
        a.(!hi') >= target *)
     while !hi' - !lo' > 1 do
       let mid = (!lo' + !hi') / 2 in
+      probe mid;
       if Array.unsafe_get a mid < target then lo' := mid else hi' := mid
     done;
     !hi'
@@ -185,13 +339,20 @@ let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
   let ai = ref 0 and di = ref 0 in
   while !di < nd do
     poll_merge ~budget iters;
+    dg.e_probe !di;
     let dstart = Array.unsafe_get dg.gstart !di in
+    if !ai < na then ag.e_meta !ai;
     if !ai < na && Array.unsafe_get ag.gstart !ai < dstart then begin
       if Array.unsafe_get ag.gend !ai < dstart then begin
         (* ancestor-side skip: dead run (validated documents guarantee
            start < end, so end < dstart implies start < dstart) *)
         let j = ref (!ai + 1) in
-        while !j < na && Array.unsafe_get ag.gend !j < dstart do
+        while
+          !j < na
+          &&
+          (ag.e_meta !j;
+           Array.unsafe_get ag.gend !j < dstart)
+        do
           incr j
         done;
         let items = ag.off.(!j) - ag.off.(!ai) in
@@ -219,7 +380,10 @@ let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
           di := nd
         end
         else begin
-          let j = gallop dg.gstart !di nd (Array.unsafe_get ag.gstart !ai) in
+          let j =
+            gallop ~probe:dg.e_probe dg.gstart !di nd
+              (Array.unsafe_get ag.gstart !ai)
+          in
           if j > !di then begin
             metrics.Metrics.skipped_items <-
               metrics.Metrics.skipped_items + (dg.off.(j) - dg.off.(!di));
@@ -228,6 +392,7 @@ let merge_loop ~budget ~metrics ~axis ~drain (ag : groups) (dg : groups) ~emit =
           else incr di
         end
       else begin
+        dg.e_meta !di;
         let dend = Array.unsafe_get dg.gend !di in
         let dlevel = Array.unsafe_get dg.glevel !di in
         (* Deterministic work unit: one comparison per live stack entry
@@ -267,6 +432,8 @@ let run_desc ~budget ~metrics ~axis ~drain ~width ~adata ~ddata (ag : groups)
   let emit g d =
     let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
     let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    ag.e_rows a_lo a_hi;
+    dg.e_rows d_lo d_hi;
     let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
     let need = npairs * width in
     if !out_len + need > !cap then begin
@@ -324,6 +491,8 @@ let run_anc ~budget ~metrics ~axis ~drain ~width ~adata ~ddata (ag : groups)
   let emit g d =
     let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
     let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    ag.e_rows a_lo a_hi;
+    dg.e_rows d_lo d_hi;
     let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
     Ibuf.reserve pairs (3 * npairs);
     if limited then
@@ -403,6 +572,8 @@ let run_desc_root ~budget ~metrics ~axis ~drain ~width ~adata ~ddata
   let emit g d =
     let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
     let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    ag.e_rows a_lo a_hi;
+    dg.e_rows d_lo d_hi;
     let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
     if !out_len + npairs > !cap then begin
       while !out_len + npairs > !cap do
@@ -437,6 +608,8 @@ let run_anc_root ~budget ~metrics ~axis ~drain ~width ~adata ~ddata
   let emit g d =
     let a_lo = ag.off.(g) and a_hi = ag.off.(g + 1) in
     let d_lo = dg.off.(d) and d_hi = dg.off.(d + 1) in
+    ag.e_rows a_lo a_hi;
+    dg.e_rows d_lo d_hi;
     let npairs = (a_hi - a_lo) * (d_hi - d_lo) in
     Ibuf.reserve pairs (3 * npairs);
     if limited then
@@ -497,8 +670,15 @@ let default_par_min_rows = 4096
    the budget carries a tuple ceiling: the serial kernels stop after
    exactly the budgeted tuple, and per-shard counters cannot reproduce
    that global ordering.  Deadline/cancellation budgets poll per shard
-   and stay on.  Returns the cut array only when it yields >= 2 shards. *)
-let shard_cuts ~pool ~par_min_rows ~budget (ag : groups) (dg : groups) =
+   and stay on.  Returns the cut array only when it yields >= 2 shards.
+
+   [force] materializes any disk-backed leaf inputs; it runs after the
+   cheap size checks but before cut-point selection, which scans the
+   full ancestor metadata columns.  Sharded merges therefore never
+   fault lazily (see {!sub_groups}): page accounting stays a
+   deterministic full scan regardless of domain count, at the price of
+   giving up skip-ahead IO savings on joins big enough to shard. *)
+let shard_cuts ~pool ~par_min_rows ~budget ~force (ag : groups) (dg : groups) =
   match pool with
   | None -> None
   | Some p ->
@@ -508,6 +688,7 @@ let shard_cuts ~pool ~par_min_rows ~budget (ag : groups) (dg : groups) =
         || ag.off.(ag.n) + dg.off.(dg.n) < par_min_rows
       then None
       else begin
+        force ();
         (* modest oversubscription so row-balanced cuts of skewed inputs
            still fill every domain *)
         let shards = min (2 * Pool.size p) ag.n in
@@ -587,16 +768,30 @@ let concat_batches ~width (parts : Batch.t array) =
 
 (* ---------- entry points ---------- *)
 
-let prepare ~doc ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) =
-  let width = Batch.width anc_b in
-  if Batch.width desc_b <> width then
-    invalid_arg "Stack_tree: input batch widths differ";
-  let cols = Document.columns doc in
-  let ag = group ~cols anc_b anc_slot in
-  let dg = group ~cols desc_b desc_slot in
-  (width, Batch.data anc_b, Batch.data desc_b, ag, dg)
+(* Group an input for a join on [slot].  A leaf joined on its own bound
+   slot is served lazily; any other slot is unbound in a leaf's rows, so
+   {!group} would reject it anyway — materialize and let it raise the
+   same diagnostics a batch input gets.  Document position columns are
+   only built when a batch input actually needs them. *)
+let group_input ~cols (i : input) slot =
+  match i with
+  | Rows b -> group ~cols:(Lazy.force cols) b slot
+  | Leaf l ->
+      if slot = l.lslot then leaf_groups l
+      else group ~cols:(Lazy.force cols) (to_batch i) slot
 
-let join_batch ?(budget = Budget.unlimited) ?pool
+let prepare ~doc ~anc:(anc_i, anc_slot) ~desc:(desc_i, desc_slot) =
+  let width = input_width anc_i in
+  if input_width desc_i <> width then
+    invalid_arg "Stack_tree: input batch widths differ";
+  let cols = lazy (Document.positions doc) in
+  let ag = group_input ~cols anc_i anc_slot in
+  let dg = group_input ~cols desc_i desc_slot in
+  (width, input_data anc_i, input_data desc_i, ag, dg)
+
+let force_input = function Rows _ -> () | Leaf l -> force_leaf l
+
+let join_batch_in ?(budget = Budget.unlimited) ?pool
     ?(par_min_rows = default_par_min_rows) ~metrics ~doc ~axis ~algo ~anc ~desc
     () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
@@ -606,7 +801,11 @@ let join_batch ?(budget = Budget.unlimited) ?pool
     | Plan.Stack_tree_desc -> run_desc
     | Plan.Stack_tree_anc -> run_anc
   in
-  match shard_cuts ~pool ~par_min_rows ~budget ag dg with
+  let force () =
+    force_input (fst anc);
+    force_input (fst desc)
+  in
+  match shard_cuts ~pool ~par_min_rows ~budget ~force ag dg with
   | Some cuts ->
       let pool = Option.get pool in
       let parts =
@@ -616,7 +815,7 @@ let join_batch ?(budget = Budget.unlimited) ?pool
       concat_batches ~width parts
   | None -> runner ~budget ~metrics ~axis ~drain:false ~width ~adata ~ddata ag dg
 
-let join_root ?(budget = Budget.unlimited) ?pool
+let join_root_in ?(budget = Budget.unlimited) ?pool
     ?(par_min_rows = default_par_min_rows) ~metrics ~doc ~axis ~algo ~anc ~desc
     () =
   metrics.Metrics.joins <- metrics.Metrics.joins + 1;
@@ -626,7 +825,11 @@ let join_root ?(budget = Budget.unlimited) ?pool
     | Plan.Stack_tree_desc -> run_desc_root
     | Plan.Stack_tree_anc -> run_anc_root
   in
-  match shard_cuts ~pool ~par_min_rows ~budget ag dg with
+  let force () =
+    force_input (fst anc);
+    force_input (fst desc)
+  in
+  match shard_cuts ~pool ~par_min_rows ~budget ~force ag dg with
   | Some cuts ->
       let pool = Option.get pool in
       let parts =
@@ -635,6 +838,16 @@ let join_root ?(budget = Budget.unlimited) ?pool
       in
       Array.concat (Array.to_list parts)
   | None -> runner ~budget ~metrics ~axis ~drain:false ~width ~adata ~ddata ag dg
+
+let join_batch ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+    ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) () =
+  join_batch_in ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+    ~anc:(Rows anc_b, anc_slot) ~desc:(Rows desc_b, desc_slot) ()
+
+let join_root ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+    ~anc:(anc_b, anc_slot) ~desc:(desc_b, desc_slot) () =
+  join_root_in ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
+    ~anc:(Rows anc_b, anc_slot) ~desc:(Rows desc_b, desc_slot) ()
 
 let join ?budget ?pool ?par_min_rows ~metrics ~doc ~axis ~algo
     ~anc:(anc_tuples, anc_slot) ~desc:(desc_tuples, desc_slot) () =

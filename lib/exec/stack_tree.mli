@@ -43,6 +43,67 @@
 open Sjos_xml
 open Sjos_plan
 
+(** {1 Join inputs}
+
+    The kernels accept either a resident columnar batch or a lazy
+    disk-backed leaf — one tag's candidate columns served page-at-a-time
+    by a {!Sjos_storage.Column_store.leaf}.  A leaf input faults in only
+    what the merge examines: group metadata for groups actually
+    compared, single [starts] probes for gallop skip-ahead (an O(log d)
+    page cost for a skip over [d] items), and the [ids] column only for
+    rows that reach an emitted pair.  Outputs and all counters except
+    page/IO accounting are bit-identical to running the same join over
+    the materialized batch.
+
+    Sharded (multi-domain) runs force leaf inputs resident before
+    cutting, so their page accounting is a deterministic full scan
+    independent of domain count. *)
+
+type leaf_input
+
+type input = Rows of Batch.t | Leaf of leaf_input
+
+val leaf : width:int -> slot:int -> Sjos_storage.Column_store.leaf -> input
+(** A lazy scan of the leaf's tag bound in [slot] of a width-[width]
+    row.  Raises [Invalid_argument] if [slot] is out of range. *)
+
+val input_rows : input -> int
+(** Row count — answered without IO for a leaf. *)
+
+val to_batch : input -> Batch.t
+(** The input as a resident batch; forces a leaf fully (charging its
+    full-scan page touches). *)
+
+val join_batch_in :
+  ?budget:Sjos_guard.Budget.t ->
+  ?pool:Sjos_par.Pool.t ->
+  ?par_min_rows:int ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  axis:Axes.axis ->
+  algo:Plan.algo ->
+  anc:input * int ->
+  desc:input * int ->
+  unit ->
+  Batch.t
+(** {!join_batch} generalized to lazy inputs.  A leaf joined on a slot
+    other than its own bound slot is materialized first (its other
+    slots are unbound, so such a join is degenerate anyway). *)
+
+val join_root_in :
+  ?budget:Sjos_guard.Budget.t ->
+  ?pool:Sjos_par.Pool.t ->
+  ?par_min_rows:int ->
+  metrics:Metrics.t ->
+  doc:Document.t ->
+  axis:Axes.axis ->
+  algo:Plan.algo ->
+  anc:input * int ->
+  desc:input * int ->
+  unit ->
+  Tuple.t array
+(** {!join_root} generalized to lazy inputs. *)
+
 val join_batch :
   ?budget:Sjos_guard.Budget.t ->
   ?pool:Sjos_par.Pool.t ->

@@ -135,6 +135,22 @@ let score w =
   w.comparisons + w.tuples_emitted + w.candidates_scanned + w.stack_ops
   + w.io_items + w.sorted_items + w.expansions + w.page_touches
 
+(* The storage-independent slice of the score: everything except the IO
+   counters ([io_items], [page_touches]), which legitimately differ
+   between the Mem and Disk column-store backends (and between lazy and
+   forced leaf scans).  The differential tests compare this. *)
+let core_score w =
+  w.comparisons + w.tuples_emitted + w.candidates_scanned + w.stack_ops
+  + w.sorted_items + w.expansions
+
+let equal_mod_io a b =
+  let strip w =
+    List.filter
+      (fun (k, _) -> k <> "io_items" && k <> "page_touches")
+      (fields w)
+  in
+  strip a = strip b
+
 let to_json w =
   Json.Obj
     (List.map (fun (k, v) -> (k, Json.Int v)) (fields w)

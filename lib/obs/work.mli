@@ -70,6 +70,15 @@ val score : t -> int
     counter except [items_skipped] and [plans_considered] (skipping is
     avoided work; considered plans are a subset of expansion effort). *)
 
+val core_score : t -> int
+(** {!score} minus the IO counters ([io_items], [page_touches]) — the
+    storage-independent slice.  The column-store differential tests
+    require Mem and Disk runs to agree on this exactly, while the IO
+    counters are what the backends are {e supposed} to change. *)
+
+val equal_mod_io : t -> t -> bool
+(** Field-wise equality ignoring [io_items] and [page_touches]. *)
+
 val to_json : t -> Json.t
 (** Every field plus the derived ["score"]. *)
 

@@ -66,10 +66,14 @@ let select_cols index spec =
     match spec.tag with
     | Some tag when spec.attr = None ->
         (* the common case hits the per-tag column cache *)
-        Element_index.columns index tag
-    | _ -> Element_index.columns_of_nodes base
-  else
-    Element_index.columns_of_nodes (filter_nodes (matches residual) base)
+        Element_index.cols index tag
+    | _ -> Cols.of_nodes base
+  else Cols.of_nodes (filter_nodes (matches residual) base)
+
+let is_pure_tag spec =
+  match spec with
+  | { tag = Some _; attr = None; text = None } -> true
+  | _ -> false
 
 let spec_to_string spec =
   let tag = Option.value spec.tag ~default:"*" in

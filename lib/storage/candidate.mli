@@ -27,10 +27,15 @@ val select : Element_index.t -> spec -> Node.t array
     element index; attribute/text predicates filter the tag bucket with a
     single-pass count-and-fill (no intermediate lists). *)
 
-val select_cols : Element_index.t -> spec -> Element_index.columns
+val select_cols : Element_index.t -> spec -> Cols.t
 (** Flat-column counterpart of {!select} for the batch execution engine.
     Plain tag lookups reuse the per-tag column cache; residual predicates
     filter then extract fresh columns. *)
+
+val is_pure_tag : spec -> bool
+(** [true] when the spec is a plain tag test with no attribute or text
+    predicate — the case whose candidate list is exactly one tag's
+    column file in the disk store. *)
 
 val spec_to_string : spec -> string
 val pp_spec : spec Fmt.t

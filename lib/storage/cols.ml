@@ -1,0 +1,1 @@
+include Sjos_xml.Cols

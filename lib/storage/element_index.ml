@@ -1,6 +1,6 @@
 open Sjos_xml
 
-type columns = {
+type columns = Cols.t = {
   ids : int array;
   starts : int array;
   ends : int array;
@@ -13,29 +13,14 @@ type t = {
   (* (tag, attr) -> value -> sorted nodes; built lazily *)
   by_attr : (string * string, (string, Node.t array) Hashtbl.t) Hashtbl.t;
   (* flat per-tag columns mirroring [by_tag]; built lazily *)
-  cols_by_tag : (string, columns) Hashtbl.t;
+  cols_by_tag : (string, Cols.t) Hashtbl.t;
   (* guards the two lazily-filled tables above: a Hashtbl mutated while
      another domain probes it is a real race (resize moves buckets), so
      every access to them takes the lock.  [by_tag] needs none. *)
   lazy_m : Mutex.t;
 }
 
-let columns_of_nodes (nodes : Node.t array) =
-  let n = Array.length nodes in
-  let ids = Array.make n 0
-  and starts = Array.make n 0
-  and ends = Array.make n 0
-  and levels = Array.make n 0 in
-  for i = 0 to n - 1 do
-    let node = Array.unsafe_get nodes i in
-    Array.unsafe_set ids i node.Node.id;
-    Array.unsafe_set starts i node.Node.start_pos;
-    Array.unsafe_set ends i node.Node.end_pos;
-    Array.unsafe_set levels i node.Node.level
-  done;
-  { ids; starts; ends; levels }
-
-let empty_columns = { ids = [||]; starts = [||]; ends = [||]; levels = [||] }
+let columns_of_nodes = Cols.of_nodes
 
 let build doc =
   let buckets : (string, Node.t list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -62,7 +47,7 @@ let build doc =
 let lookup t tag =
   match Hashtbl.find_opt t.by_tag tag with Some a -> a | None -> [||]
 
-let columns t tag =
+let cols t tag =
   Mutex.lock t.lazy_m;
   let c =
     match Hashtbl.find_opt t.cols_by_tag tag with
@@ -70,14 +55,16 @@ let columns t tag =
     | None ->
         let c =
           match Hashtbl.find_opt t.by_tag tag with
-          | None -> empty_columns
-          | Some nodes -> columns_of_nodes nodes
+          | None -> Cols.empty
+          | Some nodes -> Cols.of_nodes nodes
         in
         Hashtbl.replace t.cols_by_tag tag c;
         c
   in
   Mutex.unlock t.lazy_m;
   c
+
+let columns = cols
 
 let lookup_attr t ~tag ~attr ~value =
   Mutex.lock t.lazy_m;
@@ -109,7 +96,7 @@ let lookup_attr t ~tag ~attr ~value =
   r
 
 let warm t =
-  Hashtbl.iter (fun tag _ -> ignore (columns t tag)) t.by_tag
+  Hashtbl.iter (fun tag _ -> ignore (cols t tag)) t.by_tag
 
 let cardinality t tag = Array.length (lookup t tag)
 

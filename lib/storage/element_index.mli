@@ -11,15 +11,16 @@ open Sjos_xml
 
 type t
 
-type columns = {
+type columns = Cols.t = {
   ids : int array;
   starts : int array;
   ends : int array;
   levels : int array;
 }
-(** Structure-of-arrays view of a candidate list, in document order:
-    row [i] describes the node [ids.(i)].  The batch join kernels merge
-    these flat int columns instead of chasing {!Node.t} records. *)
+[@@ocaml.deprecated "use Cols.t"]
+(** Deprecated alias of {!Cols.t} — the candidate-list column record is
+    now the unified column type shared with {!Document.positions} and
+    {!Column_store}. *)
 
 val build : Document.t -> t
 (** Index every element of the document by tag. *)
@@ -28,18 +29,22 @@ val lookup : t -> string -> Node.t array
 (** Sorted candidate array for a tag; the empty array for unknown tags.
     Callers must not mutate the result. *)
 
-val columns : t -> string -> columns
+val cols : t -> string -> Cols.t
 (** Flat-column view of {!lookup}, built lazily per tag and cached.
     Callers must not mutate the arrays.  Safe to call from any domain
     (the lazy caches are mutex-guarded). *)
+
+val columns : t -> string -> Cols.t
+[@@ocaml.deprecated "use Element_index.cols"]
+(** Deprecated alias of {!cols}. *)
 
 val warm : t -> unit
 (** Pre-build the per-tag column cache for every tag, so parallel
     queries hit only read paths.  Idempotent. *)
 
-val columns_of_nodes : Node.t array -> columns
-(** Extract fresh columns from an arbitrary (document-ordered) candidate
-    array — the conversion for externally fetched or filtered streams. *)
+val columns_of_nodes : Node.t array -> Cols.t
+[@@ocaml.deprecated "use Cols.of_nodes"]
+(** Deprecated alias of {!Cols.of_nodes}. *)
 
 val lookup_attr : t -> tag:string -> attr:string -> value:string -> Node.t array
 (** Document-ordered elements with the given tag carrying [attr="value"].

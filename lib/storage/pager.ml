@@ -69,22 +69,35 @@ let evict_lru t =
       t.resident <- t.resident - 1;
       t.evictions <- t.evictions + 1
 
-let touch t page =
+(* LRU bookkeeping only — no work accounting.  Returns whether the page
+   was resident (a hit).  Callers charge [Work.page_touches] themselves,
+   which lets the batch entry points below fetch the calling domain's
+   accumulator once per call instead of once per page (the Domain.DLS
+   read used to sit on the per-touch path). *)
+let touch_cell t page =
   t.accesses <- t.accesses + 1;
-  let w = Sjos_obs.Work.current () in
-  w.Sjos_obs.Work.page_touches <- w.Sjos_obs.Work.page_touches + 1;
   match Hashtbl.find_opt t.table page with
   | Some cell ->
       t.hits <- t.hits + 1;
       unlink t cell;
-      push_front t cell
+      push_front t cell;
+      true
   | None ->
       t.misses <- t.misses + 1;
       if t.resident >= t.pool_pages then evict_lru t;
       let cell = { page; prev = None; next = None } in
       Hashtbl.replace t.table page cell;
       push_front t cell;
-      t.resident <- t.resident + 1
+      t.resident <- t.resident + 1;
+      false
+
+let charge_touches n =
+  let w = Sjos_obs.Work.current () in
+  w.Sjos_obs.Work.page_touches <- w.Sjos_obs.Work.page_touches + n
+
+let touch t page =
+  charge_touches 1;
+  ignore (touch_cell t page)
 
 let pages_for t items = max 1 ((items + t.page_size - 1) / t.page_size)
 
@@ -95,20 +108,38 @@ let allocate t ~items =
   seg
 
 let segment_pages t seg = pages_for t seg.items
+let segment_base seg = seg.first_page
+let segment_items seg = seg.items
 
 let scan t seg =
-  for p = seg.first_page to seg.first_page + pages_for t seg.items - 1 do
-    touch t p
+  let p0 = seg.first_page and p1 = seg.first_page + pages_for t seg.items - 1 in
+  charge_touches (p1 - p0 + 1);
+  for p = p0 to p1 do
+    ignore (touch_cell t p)
   done
 
-let scan_range t seg ~first_item ~n_items =
+let page_span t seg ~first_item ~n_items =
   if first_item < 0 || n_items < 0 || first_item + n_items > seg.items then
     invalid_arg "Pager.scan_range: range outside segment";
+  let p0 = seg.first_page + (first_item / t.page_size) in
+  let p1 = seg.first_page + ((first_item + n_items - 1) / t.page_size) in
+  (p0, p1)
+
+let scan_range t seg ~first_item ~n_items =
   if n_items > 0 then begin
-    let p0 = seg.first_page + (first_item / t.page_size) in
-    let p1 = seg.first_page + ((first_item + n_items - 1) / t.page_size) in
+    let p0, p1 = page_span t seg ~first_item ~n_items in
+    charge_touches (p1 - p0 + 1);
     for p = p0 to p1 do
-      touch t p
+      ignore (touch_cell t p)
+    done
+  end
+
+let fault_range t seg ~first_item ~n_items ~on_miss =
+  if n_items > 0 then begin
+    let p0, p1 = page_span t seg ~first_item ~n_items in
+    charge_touches (p1 - p0 + 1);
+    for p = p0 to p1 do
+      if not (touch_cell t p) then on_miss p
     done
   end
 
@@ -120,6 +151,17 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0
+
+(* Drop every resident page and zero the counters: the next access to
+   any page is a cold miss, as if the pool had just been created — but
+   without forgetting segment allocations, so benches can re-measure
+   the same segments against a cold pool. *)
+let reset t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.resident <- 0;
+  reset_stats t
 
 let hit_ratio t =
   if t.accesses = 0 then 0.0 else float_of_int t.hits /. float_of_int t.accesses

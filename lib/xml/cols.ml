@@ -1,0 +1,29 @@
+type t = {
+  ids : int array;
+  starts : int array;
+  ends : int array;
+  levels : int array;
+}
+
+let empty = { ids = [||]; starts = [||]; ends = [||]; levels = [||] }
+
+let length c = Array.length c.ids
+
+let of_nodes (nodes : Node.t array) =
+  let n = Array.length nodes in
+  let ids = Array.make n 0
+  and starts = Array.make n 0
+  and ends = Array.make n 0
+  and levels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let node = Array.unsafe_get nodes i in
+    Array.unsafe_set ids i node.Node.id;
+    Array.unsafe_set starts i node.Node.start_pos;
+    Array.unsafe_set ends i node.Node.end_pos;
+    Array.unsafe_set levels i node.Node.level
+  done;
+  { ids; starts; ends; levels }
+
+let equal a b =
+  a.ids = b.ids && a.starts = b.starts && a.ends = b.ends
+  && a.levels = b.levels

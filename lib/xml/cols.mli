@@ -1,0 +1,31 @@
+(** The unified structure-of-arrays column record.
+
+    Row [i] describes the node [ids.(i)]: its interval encoding
+    ([starts], [ends]) and depth ([levels]).  This one type replaces the
+    two structurally identical records that used to live in [Document]
+    and [Element_index]; every consumer of flat columns — the batch join
+    kernels, the sort operators, the column store — reads this shape.
+    Callers must never mutate the arrays.
+
+    For a {e document-wide} view ({!Document.positions}) [ids] is the
+    identity and the arrays are indexed by node id; for a {e candidate
+    list} view the rows are a document-ordered subset and [ids.(i)] maps
+    the row back to the node. *)
+
+type t = {
+  ids : int array;  (** node id of row [i] *)
+  starts : int array;  (** [start_pos] of row [i]'s node *)
+  ends : int array;  (** [end_pos] of row [i]'s node *)
+  levels : int array;  (** [level] of row [i]'s node *)
+}
+
+val empty : t
+
+val length : t -> int
+(** Number of rows. *)
+
+val of_nodes : Node.t array -> t
+(** Extract fresh columns from a (document-ordered) node array. *)
+
+val equal : t -> t -> bool
+(** Structural equality of all four columns. *)

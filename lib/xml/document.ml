@@ -1,10 +1,11 @@
-type columns = {
+type columns = Cols.t = {
+  ids : int array;
   starts : int array;
   ends : int array;
   levels : int array;
 }
 
-type t = { arr : Node.t array; cols_m : Mutex.t; mutable cols : columns option }
+type t = { arr : Node.t array; cols_m : Mutex.t; mutable cols : Cols.t option }
 
 let of_nodes arr =
   Array.iteri
@@ -20,7 +21,7 @@ let of_nodes arr =
    columns record instead of racing to build duplicates.  The unlocked
    fast-path read is safe: [cols] only ever goes [None -> Some c] with
    [c] fully initialized before the (atomic, word-sized) field write. *)
-let columns t =
+let positions t =
   match t.cols with
   | Some c -> c
   | None ->
@@ -30,21 +31,25 @@ let columns t =
         | Some c -> c
         | None ->
             let n = Array.length t.arr in
-            let starts = Array.make n 0
+            let ids = Array.make n 0
+            and starts = Array.make n 0
             and ends = Array.make n 0
             and levels = Array.make n 0 in
             for i = 0 to n - 1 do
               let node = Array.unsafe_get t.arr i in
+              Array.unsafe_set ids i i;
               Array.unsafe_set starts i node.Node.start_pos;
               Array.unsafe_set ends i node.Node.end_pos;
               Array.unsafe_set levels i node.Node.level
             done;
-            let c = { starts; ends; levels } in
+            let c = { Cols.ids; starts; ends; levels } in
             t.cols <- Some c;
             c
       in
       Mutex.unlock t.cols_m;
       c
+
+let columns = positions
 
 let size t = Array.length t.arr
 

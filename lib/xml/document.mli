@@ -7,15 +7,16 @@
 
 type t
 
-type columns = {
+type columns = Cols.t = {
+  ids : int array;  (** identity: [ids.(id) = id] *)
   starts : int array;  (** [starts.(id)] is [ (node t id).start_pos ] *)
   ends : int array;  (** [ends.(id)] is [ (node t id).end_pos ] *)
   levels : int array;  (** [levels.(id)] is [ (node t id).level ] *)
 }
-(** Structure-of-arrays view of the document, indexed by node id.  The
-    batch execution kernels compare machine integers read from these
-    columns instead of dereferencing {!Node.t} records on the join hot
-    path.  Callers must not mutate the arrays. *)
+[@@ocaml.deprecated "use Cols.t (via Document.positions)"]
+(** Deprecated alias of {!Cols.t}: the document-wide structure-of-arrays
+    view used to be its own record; it is now the unified column type
+    shared with the storage layer. *)
 
 val of_nodes : Node.t array -> t
 (** [of_nodes nodes] wraps a pre-order node array.  Raises
@@ -36,9 +37,16 @@ val root : t -> Node.t
 val nodes : t -> Node.t array
 (** The underlying pre-order array (do not mutate). *)
 
-val columns : t -> columns
-(** The flat positional columns, built once on first use and cached.
-    Do not mutate. *)
+val positions : t -> Cols.t
+(** The flat positional columns ([ids] is the identity), built once on
+    first use and cached; indexed by node id.  The batch execution
+    kernels compare machine integers read from these columns instead of
+    dereferencing {!Node.t} records on the join hot path.  Do not
+    mutate.  Safe to call from any domain. *)
+
+val columns : t -> Cols.t
+[@@ocaml.deprecated "use Document.positions"]
+(** Deprecated alias of {!positions}. *)
 
 val children : t -> Node.t -> Node.t list
 (** Direct element children, in document order. *)

@@ -174,12 +174,68 @@ def check_bench_par(doc):
     need(shape, "max_balance", NUM)
 
 
+def check_bench_io(doc):
+    need(doc, "scale", NUM)
+    if need(doc, "page_size", int) <= 0:
+        raise CheckFailure("page_size must be positive")
+    rows = nonempty(need(doc, "queries", list), "queries")
+    for row in rows:
+        qid = need(row, "id", str)
+        need(row, "identical", bool)
+        if need(row, "output_tuples", int) <= 0:
+            raise CheckFailure(f"{qid}: zero output tuples")
+        for key in ("page_touches", "disk_misses"):
+            if need(row, key, int) < 0:
+                raise CheckFailure(f"{qid}: {key} < 0")
+        for key in ("mem_seconds", "disk_seconds"):
+            need(row, key, NUM)
+    sweep = need(doc, "pool_sweep", dict)
+    need(sweep, "query", str)
+    points = nonempty(need(sweep, "points", list), "pool sweep points")
+    for point in points:
+        for key in ("pool_pages", "accesses", "misses", "evictions"):
+            if need(point, key, int) < 0:
+                raise CheckFailure(f"pool sweep: {key} < 0")
+    skips = nonempty(need(doc, "skip_ahead", list), "skip_ahead")
+    for row in skips:
+        qid = need(row, "id", str)
+        lazy = need(row, "lazy_misses", int)
+        full = need(row, "full_scan_misses", int)
+        if lazy > full:
+            raise CheckFailure(f"{qid}: lazy join read more pages than a full scan")
+        need(row, "skipped_items", int)
+    grounding = need(doc, "grounding", dict)
+    need(grounding, "query", str)
+    need(grounding, "page_misses", int)
+    need(grounding, "io_items", int)
+    if need(grounding, "f_io", NUM) < 0:
+        raise CheckFailure("grounded f_io is negative")
+    if "paper" in doc and isinstance(doc["paper"], dict):
+        paper = doc["paper"]
+        need(paper, "nodes", int)
+        need(paper, "out_of_core", bool)
+        if need(paper, "pool_bytes", int) >= need(paper, "total_column_bytes", int):
+            raise CheckFailure("paper run: pool not smaller than the column data")
+    shape = need(doc, "shape", dict)
+    for key in (
+        "identical_outputs_and_work",
+        "table2_exact",
+        "pool_sweep_monotone",
+        "lazy_never_worse",
+        "skip_ahead_saves_misses",
+        "f_io_grounded",
+        "pass",
+    ):
+        need(shape, key, bool)
+
+
 CHECKERS = {
     "BENCH_1.json": check_bench_1,
     "BENCH_CACHE.json": check_bench_cache,
     "BENCH_GUARD.json": check_bench_guard,
     "BENCH_PERF.json": check_bench_perf,
     "BENCH_PAR.json": check_bench_par,
+    "BENCH_IO.json": check_bench_io,
 }
 
 

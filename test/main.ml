@@ -18,6 +18,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("guard", Test_guard.suite);
       ("par", Test_par.suite);
+      ("store", Test_store.suite);
       ("work", Test_work.suite);
       ("properties", Test_properties.suite);
     ]
