@@ -274,12 +274,12 @@ let page_size_opt =
         ~doc:
           "Page size in items (8-byte ints) for $(b,--storage disk) (default            1024, i.e. 8 KiB pages).")
 
-let storage_config backend pool_pages page_size =
+let storage_config ?dir backend pool_pages page_size =
   match backend with
   | None -> None
   | Some Sjos_storage.Column_store.Mem -> Some Sjos_storage.Column_store.mem
   | Some Sjos_storage.Column_store.Disk ->
-      Some (Sjos_storage.Column_store.disk ?page_size ?pool_pages ())
+      Some (Sjos_storage.Column_store.disk ?page_size ?pool_pages ?dir ())
 
 let io_stats_json db =
   match Sjos_storage.Column_store.io_stats (Database.store db) with
@@ -608,26 +608,24 @@ let metrics_cmd =
     let run = match outcome with Ok r -> r | Error e -> raise e in
     Sjos_obs.Registry.set_enabled false;
     let open Sjos_obs.Json in
+    (* the snapshot body is the same shape the serve protocol's [metrics]
+       endpoint returns (Sjos_serve.Snapshot) — one schema for both *)
     print_endline
       (to_string_pretty
          (Obj
-            [
-              ("pattern", Str pattern);
-              ( "matches",
-                Int (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
-              );
-              ("work", Sjos_obs.Work.to_json work);
-              ("io", io_stats_json db);
-              ("gc", Sjos_obs.Work.gc_to_json (Sjos_obs.Work.gc_snapshot ()));
-              ("registry", Sjos_obs.Registry.to_json ());
-            ]))
+            (( "pattern", Str pattern )
+            :: ( "matches",
+                 Int (Array.length run.Database.exec.Sjos_exec.Executor.tuples)
+               )
+            :: Sjos_serve.Snapshot.fields ~work ~io:(io_stats_json db) ())))
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Execute a pattern and dump the full observability snapshot as \
           JSON: the query's deterministic work counters, GC totals and \
-          every registry instrument")
+          every registry instrument.  Same shape as the serve protocol's \
+          metrics endpoint.")
     Term.(
       const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag
       $ no_cache_flag $ domains_opt $ storage_backend_opt $ pool_pages_opt
@@ -682,6 +680,263 @@ let perf_gate_cmd =
           when deterministic work units or allocation regressed beyond \
           tolerance.  Wall-clock is never gated.")
     Term.(const run $ dir $ bench $ work_tol $ alloc_tol)
+
+(* ---------- serve ---------- *)
+
+let socket_opt =
+  Arg.(
+    value
+    & opt string "/tmp/sjos.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default /tmp/sjos.sock).")
+
+let file_arg_pos0 =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"XML document to serve.")
+
+let serve_cmd =
+  let run file socket tenants_file max_active max_queue deadline_ms domains
+      storage pool_pages page_size store_dir =
+    guarded @@ fun () ->
+    let db =
+      Database.load_file
+        ?storage:(storage_config ?dir:store_dir storage pool_pages page_size)
+        file
+    in
+    let tenants =
+      match tenants_file with
+      | None -> Sjos_serve.Tenant.registry []
+      | Some path -> (
+          let text = In_channel.with_open_bin path In_channel.input_all in
+          match
+            Result.bind (Sjos_obs.Json.of_string text)
+              (Sjos_serve.Tenant.registry_of_json ?default:None)
+          with
+          | Ok r -> r
+          | Error msg ->
+              Sjos_guard.Error.fail
+                (Sjos_guard.Error.Invalid_request
+                   (Printf.sprintf "tenant config %s: %s" path msg)))
+    in
+    let pool = Option.map (fun n -> Sjos_par.Pool.create ~domains:n ()) domains in
+    Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
+    @@ fun () ->
+    Database.warm db;
+    Sjos_obs.Registry.set_enabled true;
+    let config =
+      {
+        Sjos_serve.Server.default_config with
+        max_active;
+        max_queue;
+        default_deadline_ms = deadline_ms;
+      }
+    in
+    let srv = Sjos_serve.Server.create ~config ~tenants ?pool db in
+    (* async-signal-safe: the handler only flips an atomic flag *)
+    let drain _ = Sjos_serve.Server.initiate_drain srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Fmt.epr "sjos serve: listening on %s (max_active=%d max_queue=%d)@."
+      socket max_active max_queue;
+    Sjos_serve.Server.run srv ~socket_path:socket
+  in
+  let tenants_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "tenants" ] ~docv:"FILE"
+          ~doc:
+            "Tenant quota configuration: {\"default\": {..}, \"tenants\": \
+             {\"name\": {\"max_concurrent\": n, \"rate_per_sec\": r, \
+             \"burst\": b, \"max_tuples\": n, \"deadline_ms\": ms, \
+             \"chaos_seed\": n, \"chaos_faults\": [..], \"stall_ms\": ms}}}.")
+  in
+  let max_active_opt =
+    Arg.(
+      value & opt int 4
+      & info [ "max-active" ] ~docv:"N"
+          ~doc:"Concurrently executing queries (default 4).")
+  in
+  let max_queue_opt =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth beyond the active set; further requests \
+             are shed with a structured 'overloaded' error (default 16).")
+  in
+  let store_dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the $(b,--storage disk) column file (created if \
+             missing).  Without it the store lives in an auto-removed temp \
+             directory; with it the caller owns the files — useful for \
+             inspecting them or for fault-injection tests.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived multi-tenant query server on a Unix-domain \
+          socket (length-prefixed JSON protocol: health, metrics, prepare, \
+          exec, explain, analyze).  SIGTERM/SIGINT drain: in-flight \
+          queries finish, queued ones shed, then the process exits.")
+    Term.(
+      const run $ file_arg_pos0 $ socket_opt $ tenants_opt $ max_active_opt
+      $ max_queue_opt $ deadline_opt $ domains_opt $ storage_backend_opt
+      $ pool_pages_opt $ page_size_opt $ store_dir_opt)
+
+let client_cmd =
+  let run socket op pattern xpath algorithm tenant name limit deadline_ms
+      include_tuples =
+    guarded @@ fun () ->
+    let open Sjos_obs.Json in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+    @@ fun () ->
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Sjos_guard.Error.fail
+         (Sjos_guard.Error.Invalid_request
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))));
+    let opt_field k v f = match v with None -> [] | Some x -> [ (k, f x) ] in
+    let req =
+      Obj
+        ([ ("op", Str op); ("id", Int 1) ]
+        @ opt_field "pattern" pattern (fun s -> Str s)
+        @ (if xpath then [ ("xpath", Bool true) ] else [])
+        @ opt_field "algorithm" algorithm (fun s -> Str s)
+        @ opt_field "tenant" tenant (fun s -> Str s)
+        @ opt_field "name" name (fun s -> Str s)
+        @ opt_field "limit" limit (fun n -> Int n)
+        @ opt_field "deadline_ms" deadline_ms (fun f -> Float f)
+        @ if include_tuples then [ ("include_tuples", Bool true) ] else [])
+    in
+    Sjos_serve.Wire.write_frame fd req;
+    match Sjos_serve.Wire.read_frame fd with
+    | Sjos_serve.Wire.Frame resp -> (
+        print_endline (to_string_pretty resp);
+        match member "ok" resp with
+        | Some (Bool true) -> ()
+        | _ ->
+            (* exit exactly as the local CLI would for this error class *)
+            let code =
+              Option.bind (member "error" resp) (member "class")
+              |> function
+              | Some (Str c) ->
+                  Option.value
+                    (Sjos_guard.Error.exit_code_of_class c)
+                    ~default:8
+              | _ -> 8
+            in
+            exit code)
+    | Sjos_serve.Wire.Eof ->
+        Sjos_guard.Error.fail
+          (Sjos_guard.Error.Internal "server closed the connection")
+    | Sjos_serve.Wire.Bad msg ->
+        Sjos_guard.Error.fail (Sjos_guard.Error.Internal msg)
+  in
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:"health, metrics, prepare, exec, explain or analyze.")
+  in
+  let pattern_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pattern" ] ~docv:"PATTERN" ~doc:"Query pattern.")
+  in
+  let algorithm_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algorithm" ] ~docv:"ALGO" ~doc:"Optimizer algorithm name.")
+  in
+  let tenant_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant to run as.")
+  in
+  let name_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME" ~doc:"Prepared-statement name.")
+  in
+  let limit_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Tuple ceiling for this request.")
+  in
+  let include_tuples_flag =
+    Arg.(
+      value & flag
+      & info [ "tuples" ] ~doc:"Include the full tuple list in the reply.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running 'sjos serve' instance and print \
+          the JSON response.  Error responses exit with the same per-class \
+          code the local CLI uses (parse 2 .. overloaded 9).")
+    Term.(
+      const run $ socket_opt $ op_arg $ pattern_opt $ xpath_flag
+      $ algorithm_opt $ tenant_opt $ name_opt $ limit_opt $ deadline_opt
+      $ include_tuples_flag)
+
+let selftest_error_cmd =
+  let run cls =
+    guarded @@ fun () ->
+    let open Sjos_guard in
+    let e =
+      match cls with
+      | "parse_error" ->
+          Error.Parse_error { input = "selftest"; message = "selftest" }
+      | "invalid_request" -> Error.Invalid_request "selftest"
+      | "invalid_plan" -> Error.Invalid_plan "selftest"
+      | "budget_exhausted" ->
+          Error.Budget_exhausted
+            { resource = Budget.Wall_clock; during = "selftest" }
+      | "corrupt_cache_entry" ->
+          Error.Corrupt_cache_entry { key = "selftest"; reason = "selftest" }
+      | "corrupt_input" ->
+          Error.Corrupt_input { source = "selftest"; reason = "selftest" }
+      | "internal" -> Error.Internal "selftest"
+      | "overloaded" ->
+          Error.Overloaded { reason = "selftest"; retry_after_ms = 1.0 }
+      | other ->
+          Error.Invalid_request
+            (Printf.sprintf
+               "unknown error class %S (expected one of: %s)" other
+               (String.concat ", " Error.all_class_names))
+    in
+    Error.fail e
+  in
+  let cls_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CLASS"
+          ~doc:"An error class name, e.g. parse_error or overloaded.")
+  in
+  Cmd.v
+    (Cmd.info "selftest-error"
+       ~doc:
+         "Raise one structured error of the given class through the CLI \
+          error boundary and exit with its mapped code — lets scripts \
+          assert the class-to-exit-code table without crafting a failing \
+          query per class.")
+    Term.(const run $ cls_arg)
 
 (* ---------- experiments ---------- *)
 
@@ -750,6 +1005,9 @@ let main =
       analyze_cmd;
       repl_cmd;
       metrics_cmd;
+      serve_cmd;
+      client_cmd;
+      selftest_error_cmd;
       perf_gate_cmd;
       table1_cmd;
       table2_cmd;

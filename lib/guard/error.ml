@@ -8,6 +8,7 @@ type t =
   | Corrupt_cache_entry of { key : string; reason : string }
   | Corrupt_input of { source : string; reason : string }
   | Internal of string
+  | Overloaded of { reason : string; retry_after_ms : float }
 
 exception Error of t
 
@@ -21,6 +22,7 @@ let class_name = function
   | Corrupt_cache_entry _ -> "corrupt_cache_entry"
   | Corrupt_input _ -> "corrupt_input"
   | Internal _ -> "internal"
+  | Overloaded _ -> "overloaded"
 
 let exit_code = function
   | Parse_error _ -> 2
@@ -30,6 +32,26 @@ let exit_code = function
   | Corrupt_cache_entry _ -> 6
   | Corrupt_input _ -> 7
   | Internal _ -> 8
+  | Overloaded _ -> 9
+
+let all_class_names =
+  [
+    "parse_error";
+    "invalid_request";
+    "invalid_plan";
+    "budget_exhausted";
+    "corrupt_cache_entry";
+    "corrupt_input";
+    "internal";
+    "overloaded";
+  ]
+
+let exit_code_of_class name =
+  let rec find code = function
+    | [] -> None
+    | c :: rest -> if String.equal c name then Some code else find (code + 1) rest
+  in
+  find 2 all_class_names
 
 let message = function
   | Parse_error { message; _ } -> message
@@ -47,11 +69,15 @@ let message = function
       Fmt.str "corrupt cached plan under %S: %s" key reason
   | Corrupt_input { source; reason } -> Fmt.str "%s: %s" source reason
   | Internal m -> m
+  | Overloaded { reason; retry_after_ms } ->
+      Fmt.str "%s (retry after ~%.0f ms)" reason retry_after_ms
 
 let of_exn = function
   | Error t -> Some t
   | Budget.Exhausted { resource; during } ->
       Some (Budget_exhausted { resource; during })
+  | Sjos_storage.Column_store.Io_error { path; reason } ->
+      Some (Corrupt_input { source = path; reason })
   | _ -> None
 
 let protect ?map f =
@@ -82,6 +108,8 @@ let to_json t =
     | Parse_error { input; _ } -> [ ("input", Json.Str input) ]
     | Corrupt_cache_entry { key; _ } -> [ ("key", Json.Str key) ]
     | Corrupt_input { source; _ } -> [ ("source", Json.Str source) ]
+    | Overloaded { retry_after_ms; _ } ->
+        [ ("retry_after_ms", Json.Float retry_after_ms) ]
     | _ -> []
   in
   Json.Obj (base @ extra)

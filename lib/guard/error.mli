@@ -25,10 +25,16 @@ type t =
           transparently) *)
   | Corrupt_input of { source : string; reason : string }
       (** corrupt data detected at a trust boundary, e.g. an externally
-          supplied candidate stream out of document order *)
+          supplied candidate stream out of document order, or a column
+          data file gone missing/truncated underneath a disk store *)
   | Internal of string
       (** an engine invariant failed — a bug, reported structurally
           rather than as an escaped exception *)
+  | Overloaded of { reason : string; retry_after_ms : float }
+      (** admission control shed the request — the server's bounded
+          queue was full or a tenant quota/rate limit fired.  The
+          request was well-formed and may be retried after roughly
+          [retry_after_ms]; nothing about it was executed *)
 
 exception Error of t
 (** Carrier used by the raising (non-[_r]) compatibility surface. *)
@@ -41,14 +47,24 @@ val class_name : t -> string
 
 val exit_code : t -> int
 (** Distinct non-zero process exit code per class: parse 2, request 3,
-    plan 4, budget 5, corrupt cache 6, corrupt input 7, internal 8. *)
+    plan 4, budget 5, corrupt cache 6, corrupt input 7, internal 8,
+    overloaded 9. *)
+
+val exit_code_of_class : string -> int option
+(** Inverse lookup from a {!class_name} tag — used by wire clients that
+    receive only the class string and must exit like the local CLI
+    would. *)
+
+val all_class_names : string list
+(** Every class tag, in exit-code order (2..9). *)
 
 val message : t -> string
 (** One-line human message (no backtrace, no class prefix). *)
 
 val of_exn : exn -> t option
-(** Map the exceptions this library owns ({!Error},
-    {!Budget.Exhausted}) to their value form. *)
+(** Map the exceptions this library owns ({!Error}, {!Budget.Exhausted})
+    and the storage layer's [Column_store.Io_error] (to
+    {!Corrupt_input}) to their value form. *)
 
 val protect : ?map:(exn -> t option) -> (unit -> 'a) -> ('a, t) result
 (** Run the thunk, converting raised errors to values: {!of_exn} first,

@@ -1,0 +1,52 @@
+type stage = [ `Dispose | `Shutdown ]
+
+type hook = { mutable ran : bool; f : unit -> unit }
+
+let m = Mutex.create ()
+let dispose_hooks : hook list ref = ref []
+let shutdown_hooks : hook list ref = ref []
+let installed = ref false
+
+let run_hook h =
+  if not h.ran then begin
+    h.ran <- true;
+    try h.f () with _ -> ()
+  end
+
+let run_all () =
+  (* snapshot under the lock, run outside it: a hook may itself touch
+     this module (it must not deadlock doing so) *)
+  Mutex.lock m;
+  let ds = List.rev !dispose_hooks in
+  let ss = List.rev !shutdown_hooks in
+  Mutex.unlock m;
+  List.iter run_hook ds;
+  List.iter run_hook ss
+
+let on_exit stage f =
+  let h = { ran = false; f } in
+  Mutex.lock m;
+  (match stage with
+  | `Dispose -> dispose_hooks := h :: !dispose_hooks
+  | `Shutdown -> shutdown_hooks := h :: !shutdown_hooks);
+  if not !installed then begin
+    installed := true;
+    at_exit run_all
+  end;
+  Mutex.unlock m
+
+let run_now = run_all
+
+let with_isolated f =
+  Mutex.lock m;
+  let saved_d = !dispose_hooks and saved_s = !shutdown_hooks in
+  dispose_hooks := [];
+  shutdown_hooks := [];
+  Mutex.unlock m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock m;
+      dispose_hooks := saved_d;
+      shutdown_hooks := saved_s;
+      Mutex.unlock m)
+    f

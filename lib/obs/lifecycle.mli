@@ -1,0 +1,40 @@
+(** Ordered process-exit hooks.
+
+    [at_exit] runs callbacks in reverse registration order, which makes
+    cross-subsystem teardown order an accident of which subsystem
+    happened to initialize first: a disk-backed column store swept
+    {e after} the domain pool has shut down is fine today, but the
+    reverse interleaving (pool teardown waiting on a worker that still
+    holds a store open) is the kind of ordering bug that only fires in
+    one process in a thousand.
+
+    This module registers {e exactly one} [at_exit] callback, lazily on
+    first use, and runs every registered hook in fixed stage order:
+
+    + [`Dispose] — release external resources (close and remove
+      on-disk column files, flush caches);
+    + [`Shutdown] — stop execution machinery (join domain-pool
+      workers).
+
+    Within a stage, hooks run in registration order.  Hooks must not
+    raise; a raising hook is caught and ignored so later hooks (and
+    later [at_exit] callbacks) still run.  All operations are
+    thread-safe. *)
+
+type stage = [ `Dispose | `Shutdown ]
+
+val on_exit : stage -> (unit -> unit) -> unit
+(** Register a hook to run at process exit during [stage].  The first
+    registration installs the single [at_exit] callback. *)
+
+val run_now : unit -> unit
+(** Run all registered hooks immediately (each at most once — hooks
+    already run are not run again at exit).  Exposed for tests; normal
+    code never calls this. *)
+
+val with_isolated : (unit -> 'a) -> 'a
+(** Run [f] against a private, empty hook set: {!on_exit} and {!run_now}
+    inside [f] see only hooks registered inside [f], and the global
+    hooks are restored afterwards — so a test can exercise ordering
+    without firing other subsystems' exit hooks mid-process.  Tests
+    only. *)

@@ -1,0 +1,42 @@
+(** Bounded admission in front of the execution pool.
+
+    The server admits at most [max_active] queries at once; up to
+    [max_queue] more may wait their turn.  Anything beyond that is
+    {e shed} immediately with a structured [Overloaded] error rather
+    than queued without bound — latency under overload stays bounded and
+    the client learns to back off.
+
+    Waiters block on a condition variable; because OCaml's
+    [Condition.wait] has no timeout, the server's watcher thread calls
+    {!notify} periodically so queued waiters can re-check their
+    [should_abort] callback (deadline passed, client gone, server
+    draining) even when no slot frees up. *)
+
+type t
+
+val create : max_active:int -> max_queue:int -> t
+(** Both clamped to at least 1 and 0 respectively. *)
+
+val with_slot :
+  t ->
+  should_abort:(unit -> Sjos_guard.Error.t option) ->
+  (unit -> 'a) ->
+  ('a, Sjos_guard.Error.t) result
+(** Run [f] holding an execution slot.  Sheds with [Overloaded] when the
+    queue is full; while queued, [should_abort] is consulted on every
+    wakeup and its error (if any) aborts the wait.  The slot is always
+    released, even when [f] raises. *)
+
+val try_acquire : t -> bool
+(** Nonblocking slot grab (tests use this to pin slots and force
+    shedding deterministically).  Pair with {!release}. *)
+
+val release : t -> unit
+
+val notify : t -> unit
+(** Wake all queued waiters so they re-check [should_abort]. *)
+
+val active : t -> int
+val queued : t -> int
+val max_active : t -> int
+val max_queue : t -> int

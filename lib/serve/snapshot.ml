@@ -1,0 +1,12 @@
+module Json = Sjos_obs.Json
+module Work = Sjos_obs.Work
+
+let fields ?work ?io () =
+  [
+    ("work", match work with Some w -> Work.to_json w | None -> Json.Null);
+    ("io", Option.value io ~default:Json.Null);
+    ("gc", Work.gc_to_json (Work.gc_snapshot ()));
+    ("registry", Sjos_obs.Registry.to_json ());
+  ]
+
+let to_json ?work ?io () = Json.Obj (fields ?work ?io ())

@@ -1,0 +1,26 @@
+(** The one metrics-snapshot JSON shape.
+
+    Both [sjos metrics] (one-shot CLI) and the serve protocol's
+    [metrics] endpoint emit this same structure, so dashboards and the
+    bench-schema checker parse a single shape regardless of where the
+    numbers came from:
+
+    {v
+    { "work":     {...} | null,   deterministic work counters (when scoped)
+      "io":       {...} | null,   pager statistics (disk storage only)
+      "gc":       {...},          GC totals for this process
+      "registry": {...} }         every registry instrument (guard.*, par.*,
+                                  serve.*, ...)
+    v} *)
+
+val fields :
+  ?work:Sjos_obs.Work.t ->
+  ?io:Sjos_obs.Json.t ->
+  unit ->
+  (string * Sjos_obs.Json.t) list
+(** The shared field list, in the fixed order work/io/gc/registry.
+    Callers prepend or append their own context fields (pattern, server
+    uptime, tenants...) around it. *)
+
+val to_json :
+  ?work:Sjos_obs.Work.t -> ?io:Sjos_obs.Json.t -> unit -> Sjos_obs.Json.t

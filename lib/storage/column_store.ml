@@ -129,6 +129,8 @@ type disk = {
 
 type t = { index : Element_index.t; config : config; disk : disk option }
 
+exception Io_error of { path : string; reason : string }
+
 (* -- writing ----------------------------------------------------------- *)
 
 let column_value which (node : Node.t) =
@@ -160,19 +162,11 @@ let fresh_dir () =
 
 (* Stores placed in auto-created temp directories are swept at process
    exit, so test suites and CLI runs that build many disk-backed
-   databases do not leak files. *)
-let auto_disposal : (unit -> unit) list ref = ref []
-let auto_disposal_m = Mutex.create ()
-let auto_disposal_registered = ref false
-
-let register_auto_disposal f =
-  Mutex.lock auto_disposal_m;
-  auto_disposal := f :: !auto_disposal;
-  if not !auto_disposal_registered then begin
-    auto_disposal_registered := true;
-    at_exit (fun () -> List.iter (fun g -> g ()) !auto_disposal)
-  end;
-  Mutex.unlock auto_disposal_m
+   databases do not leak files.  Registration goes through
+   [Sjos_obs.Lifecycle] stage [`Dispose], which is guaranteed to run
+   before the domain pool's [`Shutdown] stage — disposal order no longer
+   depends on which subsystem initialized first. *)
+let register_auto_disposal f = Sjos_obs.Lifecycle.on_exit `Dispose f
 
 let write_catalog d ~page_size entries =
   let oc = open_out_bin d in
@@ -246,7 +240,11 @@ let build_disk config index =
       sorted_tags = tags;
       m = Mutex.create ();
       buf = Bytes.create page_bytes;
-      chan = Some (open_in_bin path);
+      (* opened lazily on first fault: a store that never reads never
+         holds a descriptor, and a data file that has gone missing
+         between load and first query surfaces as a structured
+         [Io_error] instead of a success-then-crash *)
+      chan = None;
       disposed = false;
     }
   in
@@ -316,14 +314,36 @@ let total_column_bytes t =
    bytes already encode — re-reads after eviction are real IO but
    idempotent stores, so concurrent readers of previously decoded slots
    are never invalidated. *)
+let channel d =
+  match d.chan with
+  | Some c -> c
+  | None ->
+      if d.disposed then invalid_arg "Column_store: store has been disposed";
+      (match open_in_bin d.path with
+      | c ->
+          d.chan <- Some c;
+          c
+      | exception Sys_error msg ->
+          raise (Io_error { path = d.path; reason = msg }))
+
 let read_page d (dst : int array) seg page =
-  let chan =
-    match d.chan with
-    | Some c -> c
-    | None -> invalid_arg "Column_store: store has been disposed"
-  in
-  seek_in chan (page * d.page_bytes);
-  really_input chan d.buf 0 d.page_bytes;
+  let chan = channel d in
+  (try
+     seek_in chan (page * d.page_bytes);
+     really_input chan d.buf 0 d.page_bytes
+   with
+  | End_of_file ->
+      raise
+        (Io_error
+           {
+             path = d.path;
+             reason =
+               Printf.sprintf
+                 "unexpected end of file reading page %d (truncated or \
+                  corrupt column file)"
+                 page;
+           })
+  | Sys_error msg -> raise (Io_error { path = d.path; reason = msg }));
   let page_size = Pager.page_size d.pager in
   let lo = (page - Pager.segment_base seg) * page_size in
   let hi = min (Pager.segment_items seg) (lo + page_size) in

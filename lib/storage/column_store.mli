@@ -72,10 +72,19 @@ val pp_config : config Fmt.t
 
 type t
 
+exception Io_error of { path : string; reason : string }
+(** A physical read of the column data file failed: the file has gone
+    missing since load, or is truncated/corrupt.  Raised from the fault
+    path; {!Sjos_guard.Error.of_exn} maps it to [Corrupt_input], so CLI
+    and server boundaries report it structurally (exit code 7) instead
+    of leaking a [Sys_error]. *)
+
 val create : ?config:config -> Element_index.t -> t
 (** [create ~config index] — for [Disk], writes the column file from the
     index's candidate lists (load-time cost, proportional to document
-    size) and opens it for paged reads. *)
+    size).  The read channel is opened lazily on the first page fault;
+    a data file that disappears or is damaged between load and first
+    read raises {!Io_error} at fault time. *)
 
 val index : t -> Element_index.t
 val document : t -> Document.t
@@ -95,9 +104,12 @@ val pool_bytes : t -> int option
 val total_column_bytes : t -> int option
 
 val dispose : t -> unit
-(** Close and delete the Disk files (idempotent; no-op for Mem).  Any
-    later fault raises [Invalid_argument].  Stores in auto-created temp
-    directories are also disposed at process exit. *)
+(** Close and delete the Disk files (no-op for Mem).  Idempotent:
+    disposing an already disposed store does nothing.  Any later fault
+    raises [Invalid_argument].  Stores in auto-created temp directories
+    are also disposed at process exit, through
+    [Sjos_obs.Lifecycle] stage [`Dispose] — deterministically before
+    the default domain pool's [`Shutdown] teardown. *)
 
 (** {1 Materializing reads}
 

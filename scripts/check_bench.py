@@ -229,6 +229,50 @@ def check_bench_io(doc):
         need(shape, key, bool)
 
 
+def check_bench_serve(doc):
+    need(doc, "seed", int)
+    if need(doc, "requests", int) <= 0:
+        raise CheckFailure("server bench ran zero requests")
+    if need(doc, "chaos_requests", int) < 500:
+        raise CheckFailure("fewer than 500 chaos-tenant requests")
+    for key in ("admitted", "shed", "structured_failures", "degraded"):
+        if need(doc, key, int) < 0:
+            raise CheckFailure(f"{key} < 0")
+    if doc["admitted"] <= 0:
+        raise CheckFailure("no requests were admitted")
+    for key in ("p50_ms", "p99_ms", "throughput_rps", "shed_rate"):
+        if need(doc, key, NUM) < 0:
+            raise CheckFailure(f"{key} < 0")
+    if doc["p99_ms"] < doc["p50_ms"]:
+        raise CheckFailure("p99 below p50")
+    sat = need(doc, "saturation", dict)
+    for key in (
+        "pinned",
+        "queued_at_peak",
+        "burst_requests",
+        "burst_shed",
+        "burst_completed",
+    ):
+        if need(sat, key, int) < 0:
+            raise CheckFailure(f"saturation.{key} < 0")
+    if sat["burst_shed"] + sat["burst_completed"] != sat["burst_requests"]:
+        raise CheckFailure("saturation burst requests unaccounted for")
+    table2 = nonempty(need(doc, "table2_considered", dict), "table2_considered")
+    for name, considered in table2.items():
+        if not isinstance(considered, int) or considered <= 0:
+            raise CheckFailure(f"table2 {name}: bad considered count")
+    shape = need(doc, "shape", dict)
+    for key in (
+        "zero_escaped",
+        "sheds_structured",
+        "digests_exact",
+        "enough_chaos",
+        "counters_exact",
+        "pass",
+    ):
+        need(shape, key, bool)
+
+
 CHECKERS = {
     "BENCH_1.json": check_bench_1,
     "BENCH_CACHE.json": check_bench_cache,
@@ -236,6 +280,7 @@ CHECKERS = {
     "BENCH_PERF.json": check_bench_perf,
     "BENCH_PAR.json": check_bench_par,
     "BENCH_IO.json": check_bench_io,
+    "BENCH_SERVE.json": check_bench_serve,
 }
 
 

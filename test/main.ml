@@ -19,6 +19,7 @@ let () =
       ("guard", Test_guard.suite);
       ("par", Test_par.suite);
       ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("work", Test_work.suite);
       ("properties", Test_properties.suite);
     ]

@@ -357,6 +357,63 @@ let test_store_lifecycle () =
   check cb "data file removed" false (Sys.file_exists path);
   Column_store.dispose store (* idempotent *)
 
+(* The at_exit ordering fix: disk stores must dispose in the [`Dispose]
+   stage, strictly before any [`Shutdown] hook (the domain pool's
+   teardown), regardless of registration order. *)
+let test_lifecycle_ordering () =
+  Sjos_obs.Lifecycle.with_isolated @@ fun () ->
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  (* register shutdown FIRST: plain at_exit would run it last anyway,
+     but a later dispose registration would then precede it — the
+     interleaving this module exists to forbid *)
+  Sjos_obs.Lifecycle.on_exit `Shutdown (note "shutdown");
+  Sjos_obs.Lifecycle.on_exit `Dispose (note "dispose-a");
+  Sjos_obs.Lifecycle.on_exit `Dispose (note "dispose-b");
+  Sjos_obs.Lifecycle.run_now ();
+  check
+    Alcotest.(list string)
+    "dispose stage first, registration order within a stage"
+    [ "dispose-a"; "dispose-b"; "shutdown" ]
+    (List.rev !order);
+  Sjos_obs.Lifecycle.run_now ();
+  check ci "hooks run at most once" 3 (List.length !order)
+
+let test_lifecycle_disposes_store_before_shutdown () =
+  Sjos_obs.Lifecycle.with_isolated @@ fun () ->
+  let doc = Lazy.force Helpers.tiny_pers in
+  let index = Element_index.build doc in
+  let file_at_shutdown = ref true in
+  let store =
+    Column_store.create ~config:(Column_store.disk ~pool_pages:4 ()) index
+  in
+  let path = Option.get (Column_store.data_file store) in
+  (* the store registered its own `Dispose hook at creation; this
+     shutdown hook must observe the file already gone *)
+  Sjos_obs.Lifecycle.on_exit `Shutdown (fun () ->
+      file_at_shutdown := Sys.file_exists path);
+  check cb "data file exists before exit hooks" true (Sys.file_exists path);
+  Sjos_obs.Lifecycle.run_now ();
+  check cb "column file removed before the shutdown stage ran" false
+    !file_at_shutdown;
+  Column_store.dispose store (* idempotent after the hook disposed it *)
+
+let test_database_dispose_idempotent () =
+  let db =
+    Database.of_document
+      ~storage:(Column_store.disk ~pool_pages:4 ())
+      (Lazy.force Helpers.tiny_pers)
+  in
+  let path = Option.get (Column_store.data_file (Database.store db)) in
+  let r1 = Database.run db (Helpers.pat "manager(/employee)") in
+  check cb "query ran" true
+    (Array.length r1.Database.exec.Executor.tuples > 0);
+  Database.dispose db;
+  check cb "file removed" false (Sys.file_exists path);
+  Database.dispose db;
+  (* double dispose is a no-op *)
+  Database.dispose db
+
 let test_mem_store_is_free () =
   let index = Lazy.force Helpers.tiny_index in
   let store = Column_store.create ~config:Column_store.mem index in
@@ -441,6 +498,12 @@ let suite =
     Alcotest.test_case "multi-domain over disk" `Quick
       test_domains_differential;
     Alcotest.test_case "disk store lifecycle" `Quick test_store_lifecycle;
+    Alcotest.test_case "exit hooks: dispose stage before shutdown" `Quick
+      test_lifecycle_ordering;
+    Alcotest.test_case "exit hooks: store file gone before shutdown stage"
+      `Quick test_lifecycle_disposes_store_before_shutdown;
+    Alcotest.test_case "database dispose is idempotent" `Quick
+      test_database_dispose_idempotent;
     Alcotest.test_case "mem store is free" `Quick test_mem_store_is_free;
     Alcotest.test_case "truncated column file fails loudly" `Quick
       test_truncated_file_fails_loudly;
