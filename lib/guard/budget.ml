@@ -45,11 +45,12 @@ let cancel t =
   if t == unlimited then invalid_arg "Budget.cancel: the unlimited budget";
   Atomic.set t.cancelled true
 
-let is_unlimited t =
-  t == unlimited
-  || t.deadline_ns = None
-     && t.max_expanded = None
-     && t.max_tuples = None
+(* Physical equality only: a budget built with no ceilings but its own
+   [cancelled] ref (e.g. the serve path's disconnect-cancellable
+   budgets) must never be treated as unlimited, or every poll that the
+   executor gates on [is_unlimited] would be skipped and cancellation
+   would silently become a no-op. *)
+let is_unlimited t = t == unlimited
 
 let cap_tuples t = function
   | None -> t

@@ -57,6 +57,11 @@ val cancel : t -> unit
     at its next poll point.  Raises [Invalid_argument] on {!unlimited}. *)
 
 val is_unlimited : t -> bool
+(** Physical equality with {!unlimited} — the only budget whose checks
+    may be skipped wholesale.  A budget built by {!make} with no
+    ceilings but a [cancelled] ref is {e not} unlimited: it must keep
+    being polled so a cross-thread {!cancel} (client disconnect, server
+    drain) can abort execution. *)
 
 val cap_tuples : t -> int option -> t
 (** Merge a legacy [?max_tuples] knob into the budget (minimum of the

@@ -38,7 +38,10 @@ let shed t =
 
 let with_slot t ~should_abort f =
   Mutex.lock t.m;
-  if t.active < t.max_active then begin
+  (* an arrival may only take the fast path when nobody is queued —
+     otherwise sustained new traffic would keep grabbing freed slots
+     ahead of the waiters whose retry_after hint told them to wait *)
+  if t.queued = 0 && t.active < t.max_active then begin
     t.active <- t.active + 1;
     Mutex.unlock t.m;
     Fun.protect
@@ -85,7 +88,8 @@ let with_slot t ~should_abort f =
 
 let try_acquire t =
   Mutex.lock t.m;
-  let ok = t.active < t.max_active in
+  (* same no-overtaking rule as [with_slot]'s fast path *)
+  let ok = t.queued = 0 && t.active < t.max_active in
   if ok then t.active <- t.active + 1;
   Mutex.unlock t.m;
   ok

@@ -25,11 +25,16 @@ val with_slot :
 (** Run [f] holding an execution slot.  Sheds with [Overloaded] when the
     queue is full; while queued, [should_abort] is consulted on every
     wakeup and its error (if any) aborts the wait.  The slot is always
-    released, even when [f] raises. *)
+    released, even when [f] raises.  A new arrival never overtakes the
+    queue: the immediate (non-queued) path is taken only when no one is
+    waiting, so sustained fresh traffic cannot starve queued requests
+    out of the freed slots their [retry_after] hints promised. *)
 
 val try_acquire : t -> bool
 (** Nonblocking slot grab (tests use this to pin slots and force
-    shedding deterministically).  Pair with {!release}. *)
+    shedding deterministically).  Pair with {!release}.  Subject to the
+    same no-overtaking rule as {!with_slot}: fails while anyone is
+    queued. *)
 
 val release : t -> unit
 

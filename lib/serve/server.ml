@@ -459,6 +459,37 @@ let handle_request_fd t ~client req =
 
 let handle_request t req = handle_request_fd t ~client:None req
 
+(* Serialize before writing: a response bigger than one wire frame
+   (e.g. [include_tuples] on a huge result) must come back to the
+   client as a structured error, not as [Wire.write_frame]'s
+   [Invalid_argument] escaping to the connection loop (which would
+   count an escaped exception and drop the connection). *)
+let response_payload ~id resp =
+  let payload = Json.to_string resp in
+  if String.length payload <= Wire.max_frame_bytes then payload
+  else begin
+    obs_incr "serve.oversized";
+    let too_large id =
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", id);
+             ("ok", Json.Bool false);
+             ( "error",
+               Error.to_json
+                 (Error.Invalid_request
+                    (Printf.sprintf
+                       "response too large for one frame (%d bytes > %d); \
+                        set \"limit\" or drop \"include_tuples\""
+                       (String.length payload) Wire.max_frame_bytes)) );
+           ])
+    in
+    let e = too_large id in
+    (* an adversarial near-frame-sized "id" could push the error frame
+       itself over the ceiling; drop the echo rather than the client *)
+    if String.length e <= Wire.max_frame_bytes then e else too_large Json.Null
+  end
+
 (* ---------- connections ---------- *)
 
 let handle_connection t fd =
@@ -489,7 +520,12 @@ let handle_connection t fd =
               | Unix.Unix_error _ -> ())
           | Wire.Frame req -> (
               let resp = handle_request_fd t ~client:(Some fd) req in
-              match Wire.write_frame fd resp with
+              let id =
+                match Wire.field req "id" with
+                | Some j -> j
+                | None -> Json.Null
+              in
+              match Wire.write_payload fd (response_payload ~id resp) with
               | () -> loop ()
               | exception Unix.Unix_error _ -> ()))
   in
@@ -512,18 +548,43 @@ let run t ~socket_path =
   Unix.bind sock (Unix.ADDR_UNIX socket_path);
   Unix.listen sock 64;
   let m = Mutex.create () in
+  (* live connections only: each handler flips its [done] flag when it
+     finishes and the accept loop joins finished threads between
+     accepts, so a long-running server does not retain one [Thread.t]
+     per connection it ever served *)
   let threads = ref [] in
+  let reap () =
+    let finished =
+      Mutex.lock m;
+      let fin, live = List.partition (fun (_, d) -> Atomic.get d) !threads in
+      threads := live;
+      Mutex.unlock m;
+      fin
+    in
+    (* joining a finished thread returns immediately *)
+    List.iter (fun (th, _) -> Thread.join th) finished
+  in
   let rec accept_loop () =
     if Atomic.get t.draining then ()
     else
       match Wire.wait_readable 0.2 sock with
-      | `Timeout -> accept_loop ()
+      | `Timeout ->
+          reap ();
+          accept_loop ()
       | `Readable -> (
           match Wire.retry_intr (fun () -> Unix.accept ~cloexec:true sock) with
           | fd, _ ->
-              let th = Thread.create (fun () -> handle_connection t fd) () in
+              let done_ = Atomic.make false in
+              let th =
+                Thread.create
+                  (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> Atomic.set done_ true)
+                      (fun () -> handle_connection t fd))
+                  ()
+              in
               Mutex.lock m;
-              threads := th :: !threads;
+              threads := (th, done_) :: !threads;
               Mutex.unlock m;
               accept_loop ()
           | exception Unix.Unix_error _ ->
@@ -532,7 +593,7 @@ let run t ~socket_path =
   accept_loop ();
   (* drain: no new connections; the watcher keeps waking queued waiters
      (they shed) while in-flight requests run to completion *)
-  List.iter Thread.join !threads;
+  List.iter (fun (th, _) -> Thread.join th) !threads;
   shutdown t;
   obs_incr "serve.drained";
   Fmt.epr "sjos serve: drained; final metrics: %s@."

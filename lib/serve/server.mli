@@ -84,6 +84,13 @@ val shutdown : t -> unit
 (** Stop the watcher thread (idempotent).  {!run} calls this on the way
     out; only tests that never call {!run} need it. *)
 
+val response_payload : id:Sjos_obs.Json.t -> Sjos_obs.Json.t -> string
+(** Serialize a response for the wire.  A response that would not fit
+    in one frame ({!Wire.max_frame_bytes}) is replaced by a structured
+    [invalid_request] error (echoing [id]) advising ["limit"] /
+    dropping ["include_tuples"] — the size ceiling must never surface
+    as an escaped exception or a dropped connection. *)
+
 val result_digest : Sjos_exec.Tuple.t array -> string
 (** Order-sensitive 64-bit digest of a result set, as 16 hex digits.
     The bench compares this between served and direct execution —

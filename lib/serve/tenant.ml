@@ -153,24 +153,40 @@ let note_cache_hit t =
 
 type registry = {
   default : quota;
+  max_ad_hoc : int;
   m : Mutex.t;
   tbl : (string, t) Hashtbl.t;
+  mutable ad_hoc : int;
 }
 
-let registry ?(default = default_quota) configured =
+let overflow_name = "~overflow"
+
+let registry ?(default = default_quota) ?(max_ad_hoc = 64) configured =
   let tbl = Hashtbl.create 16 in
   List.iter (fun (name, q) -> Hashtbl.replace tbl name (make name q)) configured;
-  { default; m = Mutex.create (); tbl }
+  { default; max_ad_hoc = max 0 max_ad_hoc; m = Mutex.create (); tbl; ad_hoc = 0 }
 
 let find r name =
   Mutex.lock r.m;
   let t =
     match Hashtbl.find_opt r.tbl name with
     | Some t -> t
-    | None ->
+    | None when r.ad_hoc < r.max_ad_hoc ->
         let t = make name r.default in
         Hashtbl.add r.tbl name t;
+        r.ad_hoc <- r.ad_hoc + 1;
         t
+    | None -> (
+        (* Ad-hoc cap reached: route further strangers to one shared
+           overflow tenant, so a client inventing names cannot grow the
+           registry (or the serve.tenant.* metric namespace) without
+           bound.  They still get the default quota — collectively. *)
+        match Hashtbl.find_opt r.tbl overflow_name with
+        | Some t -> t
+        | None ->
+            let t = make overflow_name r.default in
+            Hashtbl.add r.tbl overflow_name t;
+            t)
   in
   Mutex.unlock r.m;
   t
@@ -189,14 +205,22 @@ let registry_of_json ?(default = default_quota) j =
         | None -> Ok default
         | Some dj -> quota_of_json dj
       in
-      match default_r with
-      | Error msg -> Error msg
-      | Ok default -> (
+      let max_ad_hoc_r =
+        match Json.member "max_ad_hoc" j with
+        | None -> Ok None
+        | Some v -> (
+            match Json.number v with
+            | Some f -> Ok (Some (int_of_float f))
+            | None -> Error "\"max_ad_hoc\" must be a number")
+      in
+      match (default_r, max_ad_hoc_r) with
+      | Error msg, _ | _, Error msg -> Error msg
+      | Ok default, Ok max_ad_hoc -> (
           match Json.member "tenants" j with
-          | None -> Ok (registry ~default [])
+          | None -> Ok (registry ~default ?max_ad_hoc [])
           | Some (Json.Obj entries) ->
               let rec parse acc = function
-                | [] -> Ok (registry ~default (List.rev acc))
+                | [] -> Ok (registry ~default ?max_ad_hoc (List.rev acc))
                 | (name, qj) :: rest ->
                     Result.bind (quota_of_json qj) (fun q ->
                         parse ((name, q) :: acc) rest)

@@ -10,7 +10,10 @@
     A {!registry} resolves tenant names to live state, creating unknown
     tenants on first sight with the registry's default quota — a
     misbehaving stranger gets the default limits, never unlimited
-    access. *)
+    access.  Ad-hoc creation is itself bounded ([max_ad_hoc]): past the
+    cap, strangers share one overflow tenant, so arbitrary client-chosen
+    names cannot grow server memory or the metrics payload without
+    bound. *)
 
 type quota = {
   max_concurrent : int;  (** concurrent admitted queries; [<= 0] = unlimited *)
@@ -62,9 +65,16 @@ val note_cache_hit : t -> unit
 
 type registry
 
-val registry : ?default:quota -> (string * quota) list -> registry
+val registry :
+  ?default:quota -> ?max_ad_hoc:int -> (string * quota) list -> registry
+(** [max_ad_hoc] (default 64, clamped to [>= 0]) bounds how many
+    tenants {!find} may auto-create beyond the configured list. *)
+
 val find : registry -> string -> t
-(** Resolve (or create, with the default quota) a tenant by name. *)
+(** Resolve (or create, with the default quota) a tenant by name.  Once
+    [max_ad_hoc] names have been auto-created, further unknown names all
+    resolve to a single shared ["~overflow"] tenant with the default
+    quota. *)
 
 val known : registry -> t list
 (** Every tenant seen so far, sorted by name. *)
@@ -72,7 +82,8 @@ val known : registry -> t list
 val registry_of_json :
   ?default:quota -> Sjos_obs.Json.t -> (registry, string) result
 (** Parse a config document:
-    [{"default": {<quota>}, "tenants": {"<name>": {<quota>}, ...}}].
-    Both fields optional. *)
+    [{"default": {<quota>}, "max_ad_hoc": n,
+      "tenants": {"<name>": {<quota>}, ...}}].
+    All fields optional. *)
 
 val to_json : t -> Sjos_obs.Json.t

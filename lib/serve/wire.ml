@@ -44,15 +44,16 @@ let write_all fd buf =
   in
   go 0
 
-let write_frame fd j =
-  let payload = Json.to_string j in
+let write_payload fd payload =
   let len = String.length payload in
   if len > max_frame_bytes then
-    invalid_arg "Wire.write_frame: response exceeds max_frame_bytes";
+    invalid_arg "Wire.write_payload: payload exceeds max_frame_bytes";
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_be buf 0 (Int32.of_int len);
   Bytes.blit_string payload 0 buf 4 len;
   write_all fd buf
+
+let write_frame fd j = write_payload fd (Json.to_string j)
 
 let wait_readable timeout fd =
   match retry_intr (fun () -> Unix.select [ fd ] [] [] timeout) with

@@ -29,7 +29,16 @@ val read_frame : Unix.file_descr -> read_result
 val write_frame : Unix.file_descr -> Sjos_obs.Json.t -> unit
 (** Serialize and send one frame.  Raises [Unix.Unix_error] (e.g.
     [EPIPE]) when the peer is gone — callers at the server boundary
-    swallow that; the response has nowhere to go. *)
+    swallow that; the response has nowhere to go.  Raises
+    [Invalid_argument] when the serialized payload exceeds
+    {!max_frame_bytes}; the server pre-checks sizes with
+    {!write_payload} so that can only happen to misbehaving clients. *)
+
+val write_payload : Unix.file_descr -> string -> unit
+(** Send one already-serialized frame payload.  Lets the caller check
+    [String.length] against {!max_frame_bytes} first (and substitute a
+    structured error response) instead of paying for serialization
+    twice or letting [Invalid_argument] escape mid-connection. *)
 
 val wait_readable : float -> Unix.file_descr -> [ `Readable | `Timeout ]
 (** [wait_readable timeout fd] — [select] with a timeout in seconds, so

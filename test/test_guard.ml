@@ -68,6 +68,26 @@ let test_budget_cap_tuples () =
   check cb "None is identity" true
     (Budget.cap_tuples Budget.unlimited None == Budget.unlimited)
 
+(* A budget with no ceilings but a cancel flag must never be mistaken
+   for [unlimited] (the serve path builds exactly this shape so a
+   client disconnect can cancel an otherwise uncapped query): the
+   engine has to keep polling it all the way down. *)
+let test_budget_cancel_only_not_unlimited () =
+  let b = Budget.make ~cancelled:(Atomic.make false) () in
+  check cb "cancellable budget is not unlimited" false (Budget.is_unlimited b);
+  Budget.cancel b;
+  let db = Lazy.force pers_db in
+  let p = Helpers.pat "manager(//employee(/name))" in
+  match
+    Database.run_r ~opts:(Query_opts.make ~use_cache:false ~budget:b ()) db p
+  with
+  | Result.Error (Error.Budget_exhausted { resource = Budget.Cancelled; _ })
+    ->
+      ()
+  | Result.Error e ->
+      Alcotest.failf "unexpected error class: %s" (Error.class_name e)
+  | Result.Ok _ -> Alcotest.fail "cancelled uncapped budget did not abort"
+
 (* ---------- Error ---------- *)
 
 let all_errors =
@@ -423,6 +443,8 @@ let suite =
       test_budget_ceilings;
     Alcotest.test_case "budget: cap_tuples merges" `Quick
       test_budget_cap_tuples;
+    Alcotest.test_case "budget: cancel-only budget is polled" `Quick
+      test_budget_cancel_only_not_unlimited;
     Alcotest.test_case "error: distinct classes and exit codes" `Quick
       test_error_exit_codes;
     Alcotest.test_case "error: protect converts exceptions" `Quick

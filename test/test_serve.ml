@@ -448,6 +448,89 @@ let test_chaos_structured_errors_only () =
     | _ -> Alcotest.failf "request %d: response without ok field" i
   done
 
+(* ---------- oversized responses ---------- *)
+
+let test_oversized_response_structured () =
+  (* a response that cannot fit one wire frame must be replaced by a
+     structured invalid_request (echoing the id), never surface as
+     Wire.write_frame's Invalid_argument / an escaped exception *)
+  let huge = obj [ ("ok", Json.Bool true);
+                   ("tuples", Json.Str (String.make (Wire.max_frame_bytes + 1) 'x')) ] in
+  let payload = Server.response_payload ~id:(Json.Int 9) huge in
+  check cb "substitute fits a frame" true
+    (String.length payload <= Wire.max_frame_bytes);
+  (match Json.of_string payload with
+  | Error msg -> Alcotest.fail ("substitute is not JSON: " ^ msg)
+  | Ok j ->
+      check cb "substitute is an error response" false (ok_of j);
+      check cs "substitute class" "invalid_request" (error_class j);
+      check ci "substitute echoes the id" 9 (int_of j "id"));
+  (* a small response passes through verbatim *)
+  let small = obj [ ("ok", Json.Bool true) ] in
+  check cs "small responses unchanged" (Json.to_string small)
+    (Server.response_payload ~id:(Json.Int 1) small)
+
+(* ---------- tenant registry bounds ---------- *)
+
+let test_tenant_registry_bounded () =
+  let reg =
+    Tenant.registry ~max_ad_hoc:2 [ ("cfg", Tenant.default_quota) ]
+  in
+  let a = Tenant.find reg "a" in
+  let b = Tenant.find reg "b" in
+  check cb "ad-hoc tenants distinct under the cap" true (not (a == b));
+  check cb "repeat lookup is stable" true (Tenant.find reg "a" == a);
+  (* past the cap: arbitrary fresh names share one overflow tenant *)
+  let c = Tenant.find reg "stranger-3" in
+  let d = Tenant.find reg "stranger-4" in
+  check cb "over-cap strangers share the overflow tenant" true (c == d);
+  check cs "overflow tenant name" "~overflow" c.Tenant.name;
+  (* cfg + a + b + ~overflow: the registry no longer grows *)
+  check ci "registry stays bounded" 4 (List.length (Tenant.known reg));
+  check cb "configured tenant still resolves" true
+    (Tenant.find reg "cfg" == Tenant.find reg "cfg")
+
+(* ---------- admission fairness ---------- *)
+
+let test_arrivals_do_not_overtake_queue () =
+  let adm = Admission.create ~max_active:1 ~max_queue:4 in
+  check cb "pin the only slot" true (Admission.try_acquire adm);
+  let gate = Atomic.make false in
+  let ran = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        ignore
+          (Admission.with_slot adm
+             ~should_abort:(fun () -> None)
+             (fun () ->
+               Atomic.set ran true;
+               while not (Atomic.get gate) do
+                 Thread.delay 0.005
+               done)))
+      ()
+  in
+  let rec wait_queued n =
+    if Admission.queued adm = 1 || n = 0 then ()
+    else begin
+      Thread.delay 0.01;
+      wait_queued (n - 1)
+    end
+  in
+  wait_queued 200;
+  check ci "waiter is queued" 1 (Admission.queued adm);
+  (* free the slot: whether or not the waiter has woken yet, a fresh
+     arrival must not grab the slot ahead of the queue *)
+  Admission.release adm;
+  check cb "arrival cannot overtake the queue" false (Admission.try_acquire adm);
+  Atomic.set gate true;
+  Thread.join th;
+  check cb "queued waiter got the slot" true (Atomic.get ran);
+  (* queue empty again: the fast path reopens *)
+  check cb "fast path reopens once the queue drains" true
+    (Admission.try_acquire adm);
+  Admission.release adm
+
 (* ---------- tenant config parsing ---------- *)
 
 let test_tenant_config_errors () =
@@ -510,6 +593,12 @@ let suite =
       test_drain_sheds_queued;
     Alcotest.test_case "chaos under load: structured errors only" `Quick
       test_chaos_structured_errors_only;
+    Alcotest.test_case "oversized response becomes a structured error" `Quick
+      test_oversized_response_structured;
+    Alcotest.test_case "ad-hoc tenant creation is bounded" `Quick
+      test_tenant_registry_bounded;
+    Alcotest.test_case "arrivals cannot overtake queued requests" `Quick
+      test_arrivals_do_not_overtake_queue;
     Alcotest.test_case "tenant config parsing" `Quick
       test_tenant_config_errors;
   ]
