@@ -37,6 +37,23 @@ let algorithm_conv =
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (Sjos_core.Optimizer.name a))
 
+let engine_conv =
+  let parse s =
+    match Sjos_core.Optimizer.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected binary, holistic or auto")
+  in
+  Arg.conv (parse, fun ppf e -> Fmt.string ppf (Sjos_core.Optimizer.engine_name e))
+
+let engine_opt =
+  Arg.(
+    value
+    & opt engine_conv Sjos_core.Optimizer.Binary
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Physical algebra: binary Stack-Tree plans (default), the holistic \
+           TwigStack operator, or auto (cost-based choice per query).")
+
 let pattern_arg =
   let doc =
     "Query pattern, e.g. 'manager(//employee(/name))'.  '/' is parent-child, \
@@ -312,8 +329,9 @@ let domains_opt =
            environment variable, or 1.")
 
 let query_cmd =
-  let run pattern file algorithm limit show xpath trace trace_out json no_cache
-      deadline_ms max_expanded grid domains storage pool_pages page_size =
+  let run pattern file algorithm engine limit show xpath trace trace_out json
+      no_cache deadline_ms max_expanded grid domains storage pool_pages
+      page_size =
     guarded @@ fun () ->
     let db =
       Database.load_file
@@ -325,7 +343,8 @@ let query_cmd =
     Fun.protect ~finally:(fun () -> Option.iter Sjos_par.Pool.shutdown pool)
     @@ fun () ->
     let opts =
-      Query_opts.make ~algorithm ?max_tuples:limit ~use_cache:(not no_cache)
+      Query_opts.make ~algorithm ~engine ?max_tuples:limit
+        ~use_cache:(not no_cache)
         ~budget:(budget_of deadline_ms max_expanded)
         ?grid ?pool ()
     in
@@ -408,29 +427,30 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Optimize and execute a pattern query")
     Term.(
-      const run $ pattern_arg $ file_arg $ algo_opt $ limit $ show $ xpath_flag
-      $ trace_flag $ trace_out_opt $ json_flag $ no_cache_flag $ deadline_opt
-      $ max_expanded_opt $ grid_opt $ domains_opt $ storage_backend_opt
-      $ pool_pages_opt $ page_size_opt)
+      const run $ pattern_arg $ file_arg $ algo_opt $ engine_opt $ limit $ show
+      $ xpath_flag $ trace_flag $ trace_out_opt $ json_flag $ no_cache_flag
+      $ deadline_opt $ max_expanded_opt $ grid_opt $ domains_opt
+      $ storage_backend_opt $ pool_pages_opt $ page_size_opt)
 
 (* ---------- explain ---------- *)
 
 let explain_cmd =
-  let run pattern file algorithm xpath =
+  let run pattern file algorithm engine xpath =
     guarded @@ fun () ->
     let db = Database.load_file file in
     let p = parse_pattern ~xpath pattern in
-    Fmt.pr "%s@." (Database.explain ~algorithm db p)
+    Fmt.pr "%s@." (Database.explain ~algorithm ~engine db p)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the plan the optimizer picks")
-    Term.(const run $ pattern_arg $ file_arg $ algo_opt $ xpath_flag)
+    Term.(
+      const run $ pattern_arg $ file_arg $ algo_opt $ engine_opt $ xpath_flag)
 
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
-  let run pattern file algorithm limit xpath trace trace_out json deadline_ms
-      max_expanded storage pool_pages page_size =
+  let run pattern file algorithm engine limit xpath trace trace_out json
+      deadline_ms max_expanded storage pool_pages page_size =
     guarded @@ fun () ->
     let db =
       Database.load_file
@@ -439,7 +459,7 @@ let analyze_cmd =
     in
     let p = parse_pattern ~xpath pattern in
     let opts =
-      Query_opts.make ~algorithm ?max_tuples:limit
+      Query_opts.make ~algorithm ~engine ?max_tuples:limit
         ~budget:(budget_of deadline_ms max_expanded)
         ()
     in
@@ -500,8 +520,8 @@ let analyze_cmd =
           table of estimated vs. actual cardinality, cost units and wall \
           time")
     Term.(
-      const run $ pattern_arg $ file_arg $ algo_opt $ limit $ xpath_flag
-      $ trace_flag $ trace_out_opt $ json_flag $ deadline_opt
+      const run $ pattern_arg $ file_arg $ algo_opt $ engine_opt $ limit
+      $ xpath_flag $ trace_flag $ trace_out_opt $ json_flag $ deadline_opt
       $ max_expanded_opt $ storage_backend_opt $ pool_pages_opt
       $ page_size_opt)
 

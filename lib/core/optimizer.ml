@@ -106,6 +106,66 @@ let optimize_r ?factors ?(budget = Sjos_guard.Budget.unlimited) ~provider
       end
       else Error (Sjos_guard.Error.Budget_exhausted { resource; during })
 
+(* ---------- physical engine selection ---------- *)
+
+type engine = Binary | Holistic | Auto
+
+let engine_name = function
+  | Binary -> "binary"
+  | Holistic -> "holistic"
+  | Auto -> "auto"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "binary" -> Some Binary
+  | "holistic" -> Some Holistic
+  | "auto" -> Some Auto
+  | _ -> None
+
+(* The holistic "search": there is exactly one holistic plan per
+   pattern, so producing it is O(pattern) — but it still gets costed
+   (under the same factors that price the binary plans), counted as one
+   considered plan, and timed, so Auto's comparison and the cache's
+   synthesized results stay uniform across engines. *)
+let holistic_result ?factors ~provider algorithm pat =
+  let factors =
+    match factors with Some f -> f | None -> Sjos_cost.Cost_model.default
+  in
+  let t0 = Clock.now_ns () in
+  let plan = Plan.holistic_of_pattern pat in
+  let est_cost = Costing.cost factors provider pat plan in
+  let eff = Effort.create () in
+  eff.Effort.considered <- 1;
+  let w = Work.current () in
+  w.Work.plans_considered <- w.Work.plans_considered + 1;
+  {
+    algorithm;
+    plan;
+    est_cost;
+    plans_considered = 1;
+    statuses_generated = 0;
+    statuses_expanded = 0;
+    opt_seconds = Clock.elapsed_seconds ~since:t0;
+    effort = eff;
+    degraded_from = None;
+  }
+
+let optimize_e ?factors ?budget ~provider ~engine algorithm pat =
+  match engine with
+  | Binary -> optimize_r ?factors ?budget ~provider algorithm pat
+  | Holistic -> Ok (holistic_result ?factors ~provider algorithm pat)
+  | Auto -> (
+      match optimize_r ?factors ?budget ~provider algorithm pat with
+      | Error _ as e -> e
+      | Ok binary ->
+          let holistic = holistic_result ?factors ~provider algorithm pat in
+          (* strict inequality: ties go to the binary plan, whose cost
+             formulae are the calibrated ones *)
+          let winner =
+            if holistic.est_cost < binary.est_cost then holistic else binary
+          in
+          Ok { winner with plans_considered = binary.plans_considered + 1 })
+
 let pp_result pat ppf r =
   Fmt.pf ppf "@[<v>%s: est_cost=%.1f considered=%d opt=%.4fs fp=%s%s@,%s@]"
     (name r.algorithm) r.est_cost r.plans_considered r.opt_seconds

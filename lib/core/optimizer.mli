@@ -62,6 +62,46 @@ val optimize_r :
     event record the fallback.  Exhaustion in an already-heuristic tier
     returns [Error (Budget_exhausted _)]. *)
 
+(** {1 Physical engine selection}
+
+    The binary Stack-Tree plans and the holistic TwigStack operator are
+    two physical algebras for the same logical pattern.  [Binary] is the
+    paper's search space (the default everywhere — Table 2 and all
+    existing behavior are unchanged); [Holistic] forces the single
+    {!Plan.Holistic} plan; [Auto] runs the binary search and picks
+    whichever side's estimated cost is lower (ties to binary). *)
+
+type engine = Binary | Holistic | Auto
+
+val engine_name : engine -> string
+(** ["binary"], ["holistic"], ["auto"] — also the cache-key prefix. *)
+
+val engine_of_string : string -> engine option
+(** Case-insensitive inverse of {!engine_name}. *)
+
+val holistic_result :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  provider:Costing.provider ->
+  algorithm ->
+  Pattern.t ->
+  result
+(** The (unique) holistic plan for a pattern, costed under the same
+    factors as the binary search; counts as one considered plan.  The
+    [algorithm] tag is carried through for reporting only. *)
+
+val optimize_e :
+  ?factors:Sjos_cost.Cost_model.factors ->
+  ?budget:Sjos_guard.Budget.t ->
+  provider:Costing.provider ->
+  engine:engine ->
+  algorithm ->
+  Pattern.t ->
+  (result, Sjos_guard.Error.t) Stdlib.result
+(** {!optimize_r} generalized over the physical engine.  [Auto] charges
+    one extra considered plan (the holistic alternative) on top of the
+    binary search's count; a budget error from the binary search
+    propagates even under [Auto]. *)
+
 val pp_result : Pattern.t -> result Fmt.t
 
 val result_to_json : Pattern.t -> result -> Sjos_obs.Json.t

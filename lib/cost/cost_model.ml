@@ -23,6 +23,11 @@ let stack_tree_anc f ~anc ~output =
 
 let stack_tree_desc f ~anc = 2.0 *. anc *. f.f_stack
 
+let twig f ~candidates ~path_solutions =
+  (f.f_index *. candidates)
+  +. (2.0 *. candidates *. f.f_stack)
+  +. (2.0 *. path_solutions *. f.f_io)
+
 let ground_io ?(per_miss = default.f_io) f ~page_misses ~io_items =
   if page_misses < 0 || io_items < 0 then
     invalid_arg "Cost_model.ground_io: negative counter";

@@ -43,6 +43,16 @@ val stack_tree_anc : factors -> anc:float -> output:float -> float
 val stack_tree_desc : factors -> anc:float -> float
 (** [stack_tree_desc f ~anc] — Stack-Tree-Desc join cost. *)
 
+val twig : factors -> candidates:float -> path_solutions:float -> float
+(** [twig f ~candidates ~path_solutions] — cost of one holistic
+    TwigStack pass over the whole pattern: retrieving every candidate
+    stream once ([f_index * candidates]), pushing/popping each streamed
+    element through the linked stacks ([2 * candidates * f_stack]), and
+    buffering every root-to-leaf path solution for the final prefix
+    merge ([2 * path_solutions * f_io] — the same per-buffered-item IO
+    weight as Stack-Tree-Anc, so {!ground_io} recalibrates both
+    formulas from the same measured run). *)
+
 val ground_io :
   ?per_miss:float -> factors -> page_misses:int -> io_items:int -> factors
 (** [ground_io f ~page_misses ~io_items] recalibrates the abstract

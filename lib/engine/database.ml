@@ -162,7 +162,13 @@ let cache_key t (opts : Query_opts.t) ~fingerprint =
     && Option.is_none opts.Query_opts.chaos
   then begin
     ignore t;
-    Some (Optimizer.name opts.Query_opts.algorithm ^ "|" ^ fingerprint)
+    (* the engine is part of the key: Auto and Binary may pick different
+       plans for the same (algorithm, structure) *)
+    Some
+      (Optimizer.engine_name opts.Query_opts.engine
+      ^ "|"
+      ^ Optimizer.name opts.Query_opts.algorithm
+      ^ "|" ^ fingerprint)
   end
   else None
 
@@ -182,8 +188,9 @@ let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
   let t0 = Clock.now_ns () in
   let fresh ~store () =
     match
-      Optimizer.optimize_r ~factors:(eff_factors t opts)
-        ~budget:opts.Query_opts.budget ~provider opts.Query_opts.algorithm pat
+      Optimizer.optimize_e ~factors:(eff_factors t opts)
+        ~budget:opts.Query_opts.budget ~provider
+        ~engine:opts.Query_opts.engine opts.Query_opts.algorithm pat
     with
     | Error e -> Error.fail e
     | Ok r ->
@@ -378,16 +385,16 @@ let exec_r p = Error.protect (fun () -> exec p)
 let run_r ?opts t pat = Error.protect (fun () -> run ?opts t pat)
 let analyze_prepared_r p = Error.protect (fun () -> analyze_prepared p)
 
-let run_query ?algorithm ?max_tuples t pat =
-  run ~opts:(Query_opts.make ?algorithm ?max_tuples ()) t pat
+let run_query ?algorithm ?engine ?max_tuples t pat =
+  run ~opts:(Query_opts.make ?algorithm ?engine ?max_tuples ()) t pat
 
-let optimize ?algorithm t pat =
-  let opts = Query_opts.make ?algorithm ~use_cache:false () in
+let optimize ?algorithm ?engine t pat =
+  let opts = Query_opts.make ?algorithm ?engine ~use_cache:false () in
   (prepare ~opts t pat).presult
 
-let explain ?algorithm t pat =
-  explain_prepared (prepare ~opts:(Query_opts.make ?algorithm ()) t pat)
+let explain ?algorithm ?engine t pat =
+  explain_prepared (prepare ~opts:(Query_opts.make ?algorithm ?engine ()) t pat)
 
-let analyze ?algorithm ?max_tuples t pat =
+let analyze ?algorithm ?engine ?max_tuples t pat =
   analyze_prepared
-    (prepare ~opts:(Query_opts.make ?algorithm ?max_tuples ()) t pat)
+    (prepare ~opts:(Query_opts.make ?algorithm ?engine ?max_tuples ()) t pat)

@@ -215,7 +215,12 @@ val analyze_prepared_r : prepared -> (analysis, Sjos_guard.Error.t) result
     Thin veneers over {!prepare} kept for one release so existing callers
     keep compiling; prefer {!run} / {!prepare} with a {!Query_opts.t}. *)
 
-val optimize : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> Optimizer.result
+val optimize :
+  ?algorithm:Optimizer.algorithm ->
+  ?engine:Optimizer.engine ->
+  t ->
+  Pattern.t ->
+  Optimizer.result
 (** Pick a plan with a {e fresh} search — never consults the plan cache, so
     effort counters are always the true search cost (Table 2 relies on
     this).  Default algorithm is [Dpp].  {b Deprecated}: use
@@ -223,6 +228,7 @@ val optimize : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> Optimizer.res
 
 val run_query :
   ?algorithm:Optimizer.algorithm ->
+  ?engine:Optimizer.engine ->
   ?max_tuples:int ->
   t ->
   Pattern.t ->
@@ -230,9 +236,15 @@ val run_query :
 (** Optimize (through the cache) then execute.  {b Deprecated}: use
     {!run}. *)
 
-val explain : ?algorithm:Optimizer.algorithm -> t -> Pattern.t -> string
+val explain :
+  ?algorithm:Optimizer.algorithm -> ?engine:Optimizer.engine -> t -> Pattern.t -> string
 (** {b Deprecated}: use {!prepare} + {!explain_prepared}. *)
 
 val analyze :
-  ?algorithm:Optimizer.algorithm -> ?max_tuples:int -> t -> Pattern.t -> analysis
+  ?algorithm:Optimizer.algorithm ->
+  ?engine:Optimizer.engine ->
+  ?max_tuples:int ->
+  t ->
+  Pattern.t ->
+  analysis
 (** {b Deprecated}: use {!prepare} + {!analyze_prepared}. *)

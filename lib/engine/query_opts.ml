@@ -4,6 +4,7 @@ open Sjos_obs
 
 type t = {
   algorithm : Optimizer.algorithm;
+  engine : Optimizer.engine;
   max_tuples : int option;
   use_cache : bool;
   factors : Sjos_cost.Cost_model.factors option;
@@ -17,6 +18,7 @@ type t = {
 let default =
   {
     algorithm = Optimizer.Dpp;
+    engine = Optimizer.Binary;
     max_tuples = None;
     use_cache = true;
     factors = None;
@@ -27,11 +29,24 @@ let default =
     storage = None;
   }
 
-let make ?(algorithm = Optimizer.Dpp) ?max_tuples ?(use_cache = true) ?factors
-    ?grid ?(budget = Budget.unlimited) ?chaos ?pool ?storage () =
-  { algorithm; max_tuples; use_cache; factors; grid; budget; chaos; pool; storage }
+let make ?(algorithm = Optimizer.Dpp) ?(engine = Optimizer.Binary) ?max_tuples
+    ?(use_cache = true) ?factors ?grid ?(budget = Budget.unlimited) ?chaos ?pool
+    ?storage () =
+  {
+    algorithm;
+    engine;
+    max_tuples;
+    use_cache;
+    factors;
+    grid;
+    budget;
+    chaos;
+    pool;
+    storage;
+  }
 
 let with_algorithm t algorithm = { t with algorithm }
+let with_engine t engine = { t with engine }
 let with_max_tuples t max_tuples = { t with max_tuples }
 let with_use_cache t use_cache = { t with use_cache }
 let with_factors t factors = { t with factors }
@@ -46,6 +61,7 @@ let to_json t =
   Json.Obj
     [
       ("algorithm", Json.Str (Optimizer.name t.algorithm));
+      ("engine", Json.Str (Optimizer.engine_name t.engine));
       ( "max_tuples",
         match t.max_tuples with Some n -> Json.Int n | None -> Json.Null );
       ("use_cache", Json.Bool t.use_cache);
@@ -67,8 +83,9 @@ let to_json t =
     ]
 
 let pp ppf t =
-  Fmt.pf ppf "{algorithm=%s; max_tuples=%a; use_cache=%b%s%s%s%s%s%s}"
+  Fmt.pf ppf "{algorithm=%s; engine=%s; max_tuples=%a; use_cache=%b%s%s%s%s%s%s}"
     (Optimizer.name t.algorithm)
+    (Optimizer.engine_name t.engine)
     Fmt.(option ~none:(any "none") int)
     t.max_tuples t.use_cache
     (if Option.is_some t.factors then "; custom factors" else "")

@@ -9,6 +9,9 @@
 type t = {
   algorithm : Sjos_core.Optimizer.algorithm;
       (** plan-selection algorithm; default [Dpp] *)
+  engine : Sjos_core.Optimizer.engine;
+      (** physical algebra: binary Stack-Tree plans (the default),
+          the holistic TwigStack operator, or cost-based [Auto] *)
   max_tuples : int option;
       (** abort execution past this many intermediate tuples *)
   use_cache : bool;  (** consult/populate the database's plan cache *)
@@ -44,6 +47,7 @@ val default : t
 
 val make :
   ?algorithm:Sjos_core.Optimizer.algorithm ->
+  ?engine:Sjos_core.Optimizer.engine ->
   ?max_tuples:int ->
   ?use_cache:bool ->
   ?factors:Sjos_cost.Cost_model.factors ->
@@ -56,6 +60,7 @@ val make :
   t
 
 val with_algorithm : t -> Sjos_core.Optimizer.algorithm -> t
+val with_engine : t -> Sjos_core.Optimizer.engine -> t
 val with_max_tuples : t -> int option -> t
 val with_use_cache : t -> bool -> t
 val with_factors : t -> Sjos_cost.Cost_model.factors option -> t

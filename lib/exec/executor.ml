@@ -19,6 +19,7 @@ let op_span_name = function
   | Plan.Index_scan _ -> "exec.index_scan"
   | Plan.Sort _ -> "exec.sort"
   | Plan.Structural_join _ -> "exec.join"
+  | Plan.Holistic _ -> "exec.twig"
 
 (* Candidate arrays from our own element index are sorted by construction;
    an externally supplied fetch (plan hints, fault injection, a remote
@@ -71,6 +72,10 @@ type 'r engine = {
   sort_op : Metrics.t -> int -> 'r -> 'r;
   join_op : Metrics.t -> Pattern.edge -> Plan.algo -> 'r -> 'r -> 'r;
   root_join : Metrics.t -> Pattern.edge -> Plan.algo -> 'r -> 'r -> Tuple.t array;
+  twig : Metrics.t -> 'r;
+      (** the holistic operator: candidate acquisition (and its
+          accounting) is the engine's own business, so it appears as one
+          leaf operator in spans and the run profile *)
   rows : 'r -> int;
   to_tuples : 'r -> Tuple.t array;
 }
@@ -142,6 +147,8 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
               | [ (a, _); (d, _) ] -> check_output (eng.join_op own edge algo a d)
               | _ -> assert false)
             eng.rows
+      | Plan.Holistic _ ->
+          measure plan [] (fun own _ -> check_output (eng.twig own)) eng.rows
     and measure :
         'a.
         Plan.t ->
@@ -246,6 +253,11 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
                   ~axis:edge.Pattern.axis ~algo
                   ~anc:(a, edge.Pattern.anc)
                   ~desc:(d, edge.Pattern.desc) ());
+            twig =
+              (fun own ->
+                let inputs = Array.init width (fun i -> scan_input own i) in
+                Stack_tree.Rows
+                  (Twig_stack.run ~budget ~metrics:own ~doc ~pat ~inputs ()));
             rows = Stack_tree.input_rows;
             to_tuples = (fun r -> Batch.to_tuples (Stack_tree.to_batch r));
           }
@@ -271,6 +283,32 @@ let execute ?(factors = Cost_model.default) ?(budget = Budget.unlimited)
                   ~axis:edge.Pattern.axis ~algo
                   ~anc:(a, edge.Pattern.anc)
                   ~desc:(d, edge.Pattern.desc) ());
+            twig =
+              (fun own ->
+                let tuples =
+                  Twig_join.run ~budget
+                    ?candidates:
+                      (match fetch with
+                      | None -> None
+                      | Some _ -> Some candidates_for)
+                    ~metrics:own index pat
+                in
+                (* canonical order parity with the columnar kernel:
+                   lexicographic by slot value (presentation-only, so
+                   uncharged — the columnar kernel's charged ordering
+                   pass is part of its merge machinery, this one exists
+                   only to make the two engines' outputs comparable) *)
+                let cmp (a : Tuple.t) (b : Tuple.t) =
+                  let rec go s =
+                    if s = width then 0
+                    else
+                      let c = compare a.(s) b.(s) in
+                      if c <> 0 then c else go (s + 1)
+                  in
+                  go 0
+                in
+                Array.sort cmp tuples;
+                tuples);
             rows = Array.length;
             to_tuples = Fun.id;
           }

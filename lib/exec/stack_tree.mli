@@ -74,6 +74,44 @@ val to_batch : input -> Batch.t
 (** The input as a resident batch; forces a leaf fully (charging its
     full-scan page touches). *)
 
+(** {1 Kernel internals shared with the holistic twig kernel}
+
+    {!Twig_stack} drives the same input machinery — grouped candidate
+    streams with lazy out-of-core faulting, and galloping skip-ahead —
+    so leaves, probes and skip accounting behave identically whether a
+    stream feeds a binary Stack-Tree merge or the holistic pass. *)
+
+type groups = {
+  n : int;  (** number of groups *)
+  off : int array;  (** [n + 1] row offsets delimiting each group *)
+  gstart : int array;  (** join-node start positions, strictly increasing *)
+  gend : int array;
+  glevel : int array;
+  e_meta : int -> unit;  (** fault group [g]'s start/end/level *)
+  e_probe : int -> unit;  (** fault group [g]'s start only (gallop probe) *)
+  e_rows : int -> int -> unit;  (** fault absolute row range [lo, hi) *)
+}
+(** One input grouped by its join slot: consecutive rows sharing the
+    join node form a group; the [e_*] closures fault a disk-backed
+    leaf's pages in before the corresponding array slots are read
+    (no-ops for resident inputs). *)
+
+val group_input : cols:Cols.t Lazy.t -> input -> int -> groups
+(** Group an input by slot.  Raises [Invalid_argument] when the input is
+    not sorted by the slot, the slot is unbound, or an id is out of the
+    document's range. *)
+
+val input_width : input -> int
+
+val input_data : input -> int array
+(** The input's flat row-major data.  For a leaf, slots are readable
+    only after the covering {!groups.e_rows} call. *)
+
+val gallop : probe:(int -> unit) -> int array -> int -> int -> int -> int
+(** [gallop ~probe a lo hi target] — first index in [[lo, hi)] whose
+    value is [>= target] ([hi] if none), by exponential probe plus
+    binary search; [probe i] is called before [a.(i)] is read. *)
+
 val join_batch_in :
   ?budget:Sjos_guard.Budget.t ->
   ?pool:Sjos_par.Pool.t ->

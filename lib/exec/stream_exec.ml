@@ -163,6 +163,10 @@ let stream index pat plan =
         match algo with
         | Plan.Stack_tree_desc -> stj_desc ~axis:edge.Pattern.axis ags dgs
         | Plan.Stack_tree_anc -> stj_anc ~axis:edge.Pattern.axis ags dgs)
+    | Plan.Holistic _ ->
+        (* the holistic pass buffers path solutions until its prefix
+           merge — there is no useful streaming prefix to expose *)
+        invalid_arg "Stream_exec.stream: holistic plans are not streamable"
   in
   eval plan
 

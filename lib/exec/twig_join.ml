@@ -1,6 +1,7 @@
 open Sjos_xml
 open Sjos_storage
 open Sjos_pattern
+open Sjos_guard
 
 type entry = { node : Node.t; parent_top : int }
 type stack = { mutable items : entry array; mutable len : int }
@@ -51,12 +52,57 @@ let leaves pat =
     (fun i -> Pattern.children_of pat i = [])
     (List.init (Pattern.node_count pat) Fun.id)
 
-let path_solutions ~metrics index pat =
+let poll_mask = 255
+
+(* An externally supplied candidate stream (plan hints, fault injection,
+   a remote storage tier) is a trust boundary: the merge silently drops
+   or fabricates matches on out-of-order input, so ids and document
+   order are verified against the document's [starts] column first. *)
+let verify_stream ~doc ~what nodes =
+  let { Cols.starts; _ } = Document.positions doc in
+  let size = Array.length starts in
+  let prev = ref min_int in
+  Array.iteri
+    (fun i (nd : Node.t) ->
+      if nd.Node.id < 0 || nd.Node.id >= size then
+        Error.fail
+          (Error.Corrupt_input
+             {
+               source = what;
+               reason =
+                 Printf.sprintf "candidate id %d not in document at position %d"
+                   nd.Node.id i;
+             });
+      let s = Array.unsafe_get starts nd.Node.id in
+      if s < !prev then
+        Error.fail
+          (Error.Corrupt_input
+             {
+               source = what;
+               reason =
+                 Printf.sprintf
+                   "candidate stream not in document order at position %d" i;
+             });
+      prev := s)
+    nodes;
+  nodes
+
+let path_solutions ?(budget = Budget.unlimited) ?candidates ~metrics index pat =
   let n = Pattern.node_count pat in
   let width = n in
   let paths = paths_to pat in
   let streams =
-    Array.init n (fun i -> Candidate.select index (Pattern.label pat i))
+    match candidates with
+    | None ->
+        Array.init n (fun i -> Candidate.select index (Pattern.label pat i))
+    | Some f ->
+        let doc = Element_index.document index in
+        Array.init n (fun i ->
+            verify_stream ~doc
+              ~what:
+                (Printf.sprintf "candidates(%s)"
+                   (Candidate.spec_to_string (Pattern.label pat i)))
+              (f i))
   in
   Array.iter
     (fun s ->
@@ -98,6 +144,13 @@ let path_solutions ~metrics index pat =
   (* Expand all root-to-leaf solutions for a just-arrived leaf entry by
      walking the linked stacks toward the root; parent-child edges are
      checked explicitly. *)
+  let sol_count = ref 0 in
+  let solution_out () =
+    metrics.Metrics.io_items <- metrics.Metrics.io_items + 2;
+    metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1;
+    incr sol_count;
+    Budget.check_tuples budget ~during:"execute" ~count:!sol_count
+  in
   let emit leaf q entry =
     let rev_path = List.rev paths.(q) in
     (* rev_path = leaf :: parent :: ... :: root *)
@@ -105,8 +158,7 @@ let path_solutions ~metrics index pat =
       match chain with
       | [] ->
           solutions.(leaf) <- acc :: solutions.(leaf);
-          metrics.Metrics.io_items <- metrics.Metrics.io_items + 2;
-          metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1
+          solution_out ()
       | k :: rest ->
           let axis =
             match parent_info.(fst child_node) with
@@ -132,18 +184,21 @@ let path_solutions ~metrics index pat =
     match rev_path with
     | [ _ ] ->
         solutions.(leaf) <- base :: solutions.(leaf);
-        metrics.Metrics.io_items <- metrics.Metrics.io_items + 2;
-        metrics.Metrics.output_tuples <- metrics.Metrics.output_tuples + 1
+        solution_out ()
     | _ :: rest -> expand rest entry.parent_top (q, entry.node) base
     | [] -> assert false
   in
   let leaf_nodes = leaves pat in
   let is_leaf = Array.make n false in
   List.iter (fun l -> is_leaf.(l) <- true) leaf_nodes;
+  let arrivals = ref 0 in
   let rec loop () =
     match next_min () with
     | None -> ()
     | Some k ->
+        incr arrivals;
+        if !arrivals land poll_mask = 0 then
+          Budget.check budget ~during:"execute";
         let t = streams.(k).(pos.(k)) in
         pos.(k) <- pos.(k) + 1;
         clean_stacks t.Node.start_pos;
@@ -187,8 +242,8 @@ let shared_slots mask_a mask_b =
 let combine a b =
   Array.init (Array.length a) (fun i -> if a.(i) <> Tuple.unbound then a.(i) else b.(i))
 
-let run ~metrics index pat =
-  let per_leaf = path_solutions ~metrics index pat in
+let run ?(budget = Budget.unlimited) ?candidates ~metrics index pat =
+  let per_leaf = path_solutions ~budget ?candidates ~metrics index pat in
   let paths = paths_to pat in
   let mask_of_path leaf =
     List.fold_left (fun m i -> m lor (1 lsl i)) 0 paths.(leaf)
@@ -218,6 +273,9 @@ let run ~metrics index pat =
           in
           metrics.Metrics.output_tuples <-
             metrics.Metrics.output_tuples + List.length joined;
+          Budget.check budget ~during:"execute";
+          Budget.check_tuples budget ~during:"execute"
+            ~count:(List.length joined);
           acc := joined;
           acc_mask := !acc_mask lor mask)
         rest;

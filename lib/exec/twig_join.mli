@@ -20,17 +20,39 @@
     be materialized for the merge), so the ablation against binary
     Stack-Tree plans is a fair fight in cost units. *)
 
+open Sjos_xml
 open Sjos_storage
 open Sjos_pattern
+open Sjos_guard
 
-val run : metrics:Metrics.t -> Element_index.t -> Pattern.t -> Tuple.t array
+val run :
+  ?budget:Budget.t ->
+  ?candidates:(int -> Node.t array) ->
+  metrics:Metrics.t ->
+  Element_index.t ->
+  Pattern.t ->
+  Tuple.t array
 (** Evaluate any tree pattern holistically.  Result tuples are full
-    matches, in no guaranteed order. *)
+    matches, in no guaranteed order.
+
+    [budget] (default unlimited) is polled every 256 streamed arrivals
+    and charged per materialized path solution and per merged batch,
+    raising {!Budget.Exhausted}.  [candidates] overrides the per-node
+    candidate streams (indexed by pattern node); external streams are
+    verified — every id must exist in the document and starts must be
+    nondecreasing — raising {!Error.Corrupt_input} otherwise.  This
+    kernel is the reference oracle for {!Twig_stack}. *)
 
 val count : Element_index.t -> Pattern.t -> int
 
 val path_solutions :
-  metrics:Metrics.t -> Element_index.t -> Pattern.t -> (int * Tuple.t list) list
+  ?budget:Budget.t ->
+  ?candidates:(int -> Node.t array) ->
+  metrics:Metrics.t ->
+  Element_index.t ->
+  Pattern.t ->
+  (int * Tuple.t list) list
 (** Phase 1 only: for each leaf pattern node, the matches of its
     root-to-leaf path (tuples bind exactly the path's nodes).  Exposed for
-    testing and for callers that want the intermediate representation. *)
+    testing and for callers that want the intermediate representation.
+    Same [budget]/[candidates] contract as {!run}. *)

@@ -5,8 +5,28 @@ type provider = { node_card : int -> float; cluster_card : int -> float }
 let constant_provider c =
   { node_card = (fun _ -> c); cluster_card = (fun _ -> c) }
 
+let mask_nodes mask =
+  let rec go i acc =
+    if 1 lsl i > mask then List.rev acc
+    else if mask land (1 lsl i) <> 0 then go (i + 1) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
 let operator_cost factors provider = function
   | Plan.Index_scan i -> Cost_model.index_access factors (provider.node_card i)
+  | Plan.Holistic { mask; paths; _ } ->
+      let candidates =
+        List.fold_left
+          (fun acc i -> acc +. provider.node_card i)
+          0.0 (mask_nodes mask)
+      in
+      let path_solutions =
+        List.fold_left
+          (fun acc p -> acc +. provider.cluster_card p)
+          0.0 paths
+      in
+      Cost_model.twig factors ~candidates ~path_solutions
   | Plan.Sort { input; _ } ->
       Cost_model.sort factors (provider.cluster_card (Plan.nodes_mask input))
   | Plan.Structural_join { anc_side; desc_side; algo; _ } ->

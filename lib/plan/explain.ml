@@ -2,10 +2,21 @@ open Sjos_xml
 open Sjos_storage
 open Sjos_pattern
 
+let mask_names pat mask =
+  let rec go i acc =
+    if 1 lsl i > mask then List.rev acc
+    else if mask land (1 lsl i) <> 0 then go (i + 1) (Pattern.name pat i :: acc)
+    else go (i + 1) acc
+  in
+  String.concat "," (go 0 [])
+
 let describe pat = function
   | Plan.Index_scan i ->
       Printf.sprintf "IdxScan %s (%s)" (Pattern.name pat i)
         (Candidate.spec_to_string (Pattern.label pat i))
+  | Plan.Holistic { mask; order; paths } ->
+      Printf.sprintf "TwigStack {%s} (%d paths) -> ordered by %s"
+        (mask_names pat mask) (List.length paths) (Pattern.name pat order)
   | Plan.Sort { by; _ } -> Printf.sprintf "Sort by %s" (Pattern.name pat by)
   | Plan.Structural_join { edge; algo; _ } as op ->
       Printf.sprintf "%s %s%s%s -> ordered by %s" (Plan.algo_to_string algo)
@@ -23,7 +34,7 @@ let render annotate pat plan =
     Buffer.add_char buf '\n';
     let child = prefix ^ "  " in
     match plan with
-    | Plan.Index_scan _ -> ()
+    | Plan.Index_scan _ | Plan.Holistic _ -> ()
     | Plan.Sort { input; _ } -> emit child input
     | Plan.Structural_join { anc_side; desc_side; _ } ->
         emit child anc_side;
@@ -129,6 +140,10 @@ let one_line pat plan =
   let buf = Buffer.create 64 in
   let rec emit = function
     | Plan.Index_scan i -> Buffer.add_string buf (Pattern.name pat i)
+    | Plan.Holistic { mask; _ } ->
+        Buffer.add_string buf "twig{";
+        Buffer.add_string buf (mask_names pat mask);
+        Buffer.add_char buf '}'
     | Plan.Sort { input; by } ->
         Buffer.add_string buf "sort[";
         Buffer.add_string buf (Pattern.name pat by);

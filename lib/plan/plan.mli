@@ -20,6 +20,13 @@ type t =
       (** [anc_side] must contain [edge.anc] and be ordered by it;
           [desc_side] must contain [edge.desc] and be ordered by it *)
   | Sort of { input : t; by : int }  (** reorder by a pattern node *)
+  | Holistic of { mask : int; order : int; paths : int list }
+      (** evaluate the whole twig with one holistic TwigStack pass:
+          every candidate stream is scanned once in global document
+          order, path solutions are buffered per root-to-leaf path and
+          merge-joined on shared prefixes.  [mask] must bind every
+          pattern node, [order] is the pattern root, and [paths] holds
+          the root-to-leaf path masks (sorted) the cost model prices *)
 
 val algo_to_string : algo -> string
 val pp_algo : algo Fmt.t
@@ -27,6 +34,20 @@ val pp_algo : algo Fmt.t
 val scan : int -> t
 val join : anc_side:t -> desc_side:t -> edge:Pattern.edge -> algo:algo -> t
 val sort : t -> by:int -> t
+
+val path_masks : Pattern.t -> int list
+(** Masks of the pattern's root-to-leaf paths, sorted. *)
+
+val holistic_node : ?order:int -> Pattern.t -> t
+(** The bare holistic operator for a pattern: full node mask,
+    [paths = path_masks pat], ordered by [order] (default the root). *)
+
+val holistic_of_pattern : Pattern.t -> t
+(** {!holistic_node}, wrapped in a {!Sort} when the pattern requests an
+    ordering by a non-root node. *)
+
+val uses_holistic : t -> bool
+(** Whether any operator in the plan is {!Holistic}. *)
 
 val nodes_mask : t -> int
 (** Bit mask of the pattern nodes bound by the plan's output. *)

@@ -2,6 +2,10 @@ open Sjos_pattern
 
 let rec to_string pat = function
   | Plan.Index_scan i -> Printf.sprintf "(scan %s)" (Pattern.name pat i)
+  | Plan.Holistic { order; _ } ->
+      (* mask and paths are derivable from the pattern, so the stored
+         form carries only the ordering node (the root) *)
+      Printf.sprintf "(twig %s)" (Pattern.name pat order)
   | Plan.Sort { input; by } ->
       Printf.sprintf "(sort %s %s)" (Pattern.name pat by) (to_string pat input)
   | Plan.Structural_join { anc_side; desc_side; edge; algo } ->
@@ -81,6 +85,8 @@ let of_string pat src =
   in
   let rec build = function
     | List [ Atom "scan"; Atom name ] -> Plan.scan (node name)
+    | List [ Atom "twig"; Atom name ] ->
+        Plan.holistic_node ~order:(node name) pat
     | List [ Atom "sort"; Atom name; input ] ->
         Plan.sort (build input) ~by:(node name)
     | List [ Atom ("anc" | "desc" as algo); Atom a; Atom d; anc_side; desc_side ]

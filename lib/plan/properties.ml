@@ -8,6 +8,15 @@ let validate pat plan =
     | Plan.Index_scan i ->
         if i < 0 || i >= n then err "scan of unknown pattern node %d" i
         else Ok ()
+    | Plan.Holistic { mask; order; paths } ->
+        (* the holistic operator always evaluates the whole pattern; a
+           partial twig has no binary-algebra equivalent to compare with *)
+        if mask <> (1 lsl n) - 1 then err "holistic twig does not bind every node"
+        else if order < 0 || order >= n then
+          err "holistic twig ordered by unknown node %d" order
+        else if paths <> Plan.path_masks pat then
+          err "holistic twig paths do not match the pattern"
+        else Ok ()
     | Plan.Sort { input; by } ->
         let* () = check input in
         if Plan.nodes_mask input land (1 lsl by) = 0 then
@@ -52,8 +61,21 @@ let validate pat plan =
     else Ok ()
   in
   (* n nodes and n-1 joins with disjoint inputs imply each node scanned
-     exactly once and each edge joined exactly once *)
-  if Plan.join_count plan <> n - 1 then
+     exactly once and each edge joined exactly once.  A holistic twig
+     covers all nodes and edges by itself, so it admits no joins at all:
+     since its mask is full, the join-input disjointness check above
+     already rules out any Structural_join around it. *)
+  let holistics =
+    Plan.fold
+      (fun acc op -> match op with Plan.Holistic _ -> acc + 1 | _ -> acc)
+      0 plan
+  in
+  if holistics > 1 then err "plan contains %d holistic operators" holistics
+  else if holistics = 1 then
+    if Plan.join_count plan <> 0 then
+      err "holistic plan must not contain binary joins"
+    else Ok ()
+  else if Plan.join_count plan <> n - 1 then
     err "expected %d joins, found %d" (n - 1) (Plan.join_count plan)
   else Ok ()
 
@@ -62,12 +84,12 @@ let is_fully_pipelined plan = Plan.sort_count plan = 0
 
 let is_left_deep plan =
   let rec composite = function
-    | Plan.Index_scan _ -> false
+    | Plan.Index_scan _ | Plan.Holistic _ -> false
     | Plan.Sort { input; _ } -> composite input
     | Plan.Structural_join _ -> true
   in
   let rec check = function
-    | Plan.Index_scan _ -> true
+    | Plan.Index_scan _ | Plan.Holistic _ -> true
     | Plan.Sort { input; _ } -> check input
     | Plan.Structural_join { anc_side; desc_side; _ } ->
         (not (composite anc_side && composite desc_side))

@@ -30,7 +30,10 @@ type t = {
   pool : Sjos_par.Pool.t option;
   draining : bool Atomic.t;
   (* statements bound by [prepare], keyed "<tenant>/<name>" *)
-  prepared : (string, Sjos_pattern.Pattern.t * Optimizer.algorithm) Hashtbl.t;
+  prepared :
+    ( string,
+      Sjos_pattern.Pattern.t * Optimizer.algorithm * Optimizer.engine )
+    Hashtbl.t;
   m_prepared : Mutex.t;
   (* queries currently executing, so the watcher can cancel budgets whose
      client hung up *)
@@ -178,6 +181,16 @@ let request_algorithm req =
       | Ok a -> a
       | Error msg -> Error.fail (Error.Invalid_request msg))
 
+let request_engine req =
+  match Wire.string_field req "engine" with
+  | None -> Optimizer.Binary
+  | Some s -> (
+      match Optimizer.engine_of_string s with
+      | Some e -> e
+      | None ->
+          Error.fail
+            (Error.Invalid_request "expected engine binary, holistic or auto"))
+
 let stmt_key tenant name = tenant ^ "/" ^ name
 
 (* Either an inline pattern or a previously prepared statement. *)
@@ -188,7 +201,7 @@ let resolve_pattern t ~tenant req =
       let bound = Hashtbl.find_opt t.prepared (stmt_key tenant name) in
       Mutex.unlock t.m_prepared;
       match bound with
-      | Some pa -> pa
+      | Some pae -> pae
       | None ->
           Error.fail
             (Error.Invalid_request
@@ -200,7 +213,7 @@ let resolve_pattern t ~tenant req =
           let xpath =
             Option.value (Wire.bool_field req "xpath") ~default:false
           in
-          (parse_pattern ~xpath s, request_algorithm req)
+          (parse_pattern ~xpath s, request_algorithm req, request_engine req)
       | None ->
           Error.fail
             (Error.Invalid_request "request needs \"pattern\" or \"name\""))
@@ -245,8 +258,8 @@ let stall budget ms =
     loop ()
   end
 
-let query_opts t (tenant : Tenant.t) ~algorithm ~budget =
-  Query_opts.make ~algorithm ~budget ?chaos:tenant.chaos ?pool:t.pool ()
+let query_opts t (tenant : Tenant.t) ~algorithm ~engine ~budget =
+  Query_opts.make ~algorithm ~engine ~budget ?chaos:tenant.chaos ?pool:t.pool ()
 
 (* ---------- metrics ---------- *)
 
@@ -386,11 +399,12 @@ let handle_op t ~client req op =
           in
           let pat = parse_pattern ~xpath pattern in
           let algorithm = request_algorithm req in
-          let opts = query_opts t tenant ~algorithm ~budget in
+          let engine = request_engine req in
+          let opts = query_opts t tenant ~algorithm ~engine ~budget in
           let prep = prepare_handle t tenant ~opts pat in
           Mutex.lock t.m_prepared;
           Hashtbl.replace t.prepared (stmt_key tenant_name name)
-            (pat, algorithm);
+            (pat, algorithm, engine);
           Mutex.unlock t.m_prepared;
           [
             ("name", Json.Str name);
@@ -399,16 +413,16 @@ let handle_op t ~client req op =
           ])
   | "exec" ->
       admitted t ~client tenant req (fun budget ->
-          let pat, algorithm = resolve_pattern t ~tenant:tenant_name req in
-          let opts = query_opts t tenant ~algorithm ~budget in
+          let pat, algorithm, engine = resolve_pattern t ~tenant:tenant_name req in
+          let opts = query_opts t tenant ~algorithm ~engine ~budget in
           let prep = prepare_handle t tenant ~opts pat in
           match Database.exec_r prep with
           | Error e -> Error.fail e
           | Ok run -> exec_fields prep run ~include_tuples)
   | "explain" ->
       admitted t ~client tenant req (fun budget ->
-          let pat, algorithm = resolve_pattern t ~tenant:tenant_name req in
-          let opts = query_opts t tenant ~algorithm ~budget in
+          let pat, algorithm, engine = resolve_pattern t ~tenant:tenant_name req in
+          let opts = query_opts t tenant ~algorithm ~engine ~budget in
           let prep = prepare_handle t tenant ~opts pat in
           [
             ("fingerprint", Json.Str (Database.prepared_fingerprint prep));
@@ -416,8 +430,8 @@ let handle_op t ~client req op =
           ])
   | "analyze" ->
       admitted t ~client tenant req (fun budget ->
-          let pat, algorithm = resolve_pattern t ~tenant:tenant_name req in
-          let opts = query_opts t tenant ~algorithm ~budget in
+          let pat, algorithm, engine = resolve_pattern t ~tenant:tenant_name req in
+          let opts = query_opts t tenant ~algorithm ~engine ~budget in
           let prep = prepare_handle t tenant ~opts pat in
           match Database.analyze_prepared_r prep with
           | Error e -> Error.fail e

@@ -273,6 +273,50 @@ def check_bench_serve(doc):
         need(shape, key, bool)
 
 
+def check_bench_twig(doc):
+    need(doc, "scale", NUM)
+    cells = nonempty(need(doc, "cells", list), "cells")
+    saw_holistic_expect = False
+    for cell in cells:
+        cid = need(cell, "id", str)
+        need(cell, "dataset", str)
+        need(cell, "pattern", str)
+        expect = need(cell, "expect", str)
+        if expect not in ("holistic", "binary"):
+            raise CheckFailure(f"{cid}: expect must be holistic or binary")
+        saw_holistic_expect = saw_holistic_expect or expect == "holistic"
+        if need(cell, "output_tuples", int) <= 0:
+            raise CheckFailure(f"{cid}: zero output tuples")
+        for engine in ("binary", "holistic"):
+            side = need(cell, engine, dict)
+            for key in ("comparisons", "io_items", "score"):
+                if need(side, key, int) < 0:
+                    raise CheckFailure(f"{cid}/{engine}: {key} < 0")
+            if side["score"] != side["comparisons"] + side["io_items"]:
+                raise CheckFailure(f"{cid}/{engine}: score is not cmp+io")
+            need(side, "est_cost", NUM)
+            need(side, "seconds", NUM)
+        if need(cell, "auto_picked", str) not in ("holistic", "binary"):
+            raise CheckFailure(f"{cid}: bad auto_picked")
+        need(cell, "identical", bool)
+        need(cell, "deterministic", bool)
+        if expect == "holistic":
+            if cell["holistic"]["score"] >= cell["binary"]["score"]:
+                raise CheckFailure(f"{cid}: holistic did not win cmp+io")
+    if not saw_holistic_expect:
+        raise CheckFailure("no deep-chain cell expects a holistic win")
+    shape = need(doc, "shape", dict)
+    for key in (
+        "identical_outputs",
+        "deterministic_work",
+        "table2_exact",
+        "holistic_wins_deep_chains",
+        "auto_agrees",
+        "pass",
+    ):
+        need(shape, key, bool)
+
+
 CHECKERS = {
     "BENCH_1.json": check_bench_1,
     "BENCH_CACHE.json": check_bench_cache,
@@ -281,6 +325,7 @@ CHECKERS = {
     "BENCH_PAR.json": check_bench_par,
     "BENCH_IO.json": check_bench_io,
     "BENCH_SERVE.json": check_bench_serve,
+    "BENCH_TWIG.json": check_bench_twig,
 }
 
 

@@ -21,5 +21,6 @@ let () =
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
       ("work", Test_work.suite);
+      ("twig", Test_twig.suite);
       ("properties", Test_properties.suite);
     ]

@@ -226,6 +226,50 @@ let test_cached_equals_cold_on_workload () =
         ct)
     Workload.queries
 
+(* The engine is part of the cache key: a plan optimized under one
+   physical engine must never be served to another, and a holistic plan
+   round-trips through the serialized cache entry intact. *)
+let test_engine_in_cache_key () =
+  let db = db () in
+  let p = Helpers.pat pers_pat in
+  let run engine = Database.run ~opts:(Query_opts.make ~engine ()) db p in
+  let bin = run Optimizer.Binary in
+  check cb "binary cold run searched" true
+    (bin.Database.opt.Optimizer.plans_considered > 0);
+  (* a different engine with the same algorithm+structure must miss *)
+  let hol = run Optimizer.Holistic in
+  check cb "holistic plan chosen" true
+    (Sjos_plan.Plan.uses_holistic hol.Database.opt.Optimizer.plan);
+  check cb "binary entry not served to holistic" false
+    (Sjos_plan.Plan.uses_holistic bin.Database.opt.Optimizer.plan);
+  let auto = run Optimizer.Auto in
+  check cb "auto cold run searched" true
+    (auto.Database.opt.Optimizer.plans_considered > 0);
+  (* warm per engine: each hits its own entry and round-trips its plan *)
+  let bin2 = run Optimizer.Binary in
+  let hol2 = run Optimizer.Holistic in
+  let auto2 = run Optimizer.Auto in
+  check cb "binary warm hit" true (effort_is_zero bin2.Database.opt);
+  check cb "holistic warm hit" true (effort_is_zero hol2.Database.opt);
+  check cb "auto warm hit" true (effort_is_zero auto2.Database.opt);
+  check cb "holistic plan round-trips the cache" true
+    (Sjos_plan.Plan.equal hol.Database.opt.Optimizer.plan
+       hol2.Database.opt.Optimizer.plan);
+  check cb "binary warm plan unchanged" true
+    (Sjos_plan.Plan.equal bin.Database.opt.Optimizer.plan
+       bin2.Database.opt.Optimizer.plan);
+  check cb "auto warm plan unchanged" true
+    (Sjos_plan.Plan.equal auto.Database.opt.Optimizer.plan
+       auto2.Database.opt.Optimizer.plan);
+  (* all three engines agree on the result set *)
+  let sorted (r : Database.query_run) =
+    List.sort compare
+      (List.map Array.to_list
+         (Array.to_list r.Database.exec.Executor.tuples))
+  in
+  check cb "identical results across engines" true
+    (sorted bin = sorted hol && sorted hol = sorted auto)
+
 let test_pattern_names_distinct () =
   (* >26 nodes used to collide on "N%d"-style names *)
   let n = 60 in
@@ -261,6 +305,8 @@ let suite =
       test_epoch_invalidation;
     Alcotest.test_case "cached = cold on all workload queries" `Slow
       test_cached_equals_cold_on_workload;
+    Alcotest.test_case "engine is part of the cache key" `Quick
+      test_engine_in_cache_key;
     Alcotest.test_case "pattern names distinct past 26 nodes" `Quick
       test_pattern_names_distinct;
   ]

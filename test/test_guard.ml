@@ -230,7 +230,7 @@ let test_corrupt_cache_recovery () =
   let p = Helpers.pat "manager(//employee(/name))" in
   let full = Database.run ~opts:(Query_opts.cold Query_opts.default) db p in
   let prep = Database.prepare db p in
-  let key = "DPP|" ^ Database.prepared_fingerprint prep in
+  let key = "binary|DPP|" ^ Database.prepared_fingerprint prep in
   let poison plan_text =
     Sjos_cache.Plan_cache.add (Database.plan_cache db) key
       { Sjos_cache.Plan_cache.plan_text; est_cost = 1.0; algorithm = "DPP" };

@@ -199,7 +199,7 @@ let test_analyze_rows_populated () =
         1
         +
         match p with
-        | Sjos_plan.Plan.Index_scan _ -> 0
+        | Sjos_plan.Plan.Index_scan _ | Sjos_plan.Plan.Holistic _ -> 0
         | Sjos_plan.Plan.Sort { input; _ } -> count_ops input
         | Sjos_plan.Plan.Structural_join { anc_side; desc_side; _ } ->
             count_ops anc_side + count_ops desc_side
