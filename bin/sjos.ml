@@ -29,11 +29,20 @@ let algorithm_conv =
     | "dpp-nl" | "dpp'" -> Ok Sjos_core.Optimizer.Dpp_no_lookahead
     | "dpap-ld" | "ld" -> Ok Sjos_core.Optimizer.Dpap_ld
     | "fp" -> Ok Sjos_core.Optimizer.Fp
+    | "bigdp" -> Ok (Sjos_core.Optimizer.Big_dp Sjos_core.Bigdp.default_width)
     | s when String.length s > 8 && String.sub s 0 8 = "dpap-eb:" -> (
         match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
         | Some te when te > 0 -> Ok (Sjos_core.Optimizer.Dpap_eb te)
         | _ -> Error (`Msg "expected dpap-eb:<positive Te>"))
-    | _ -> Error (`Msg "expected dp, dpp, dpp-nl, dpap-eb:<Te>, dpap-ld or fp")
+    | s when String.length s > 6 && String.sub s 0 6 = "bigdp:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some w when w > 0 -> Ok (Sjos_core.Optimizer.Big_dp w)
+        | _ -> Error (`Msg "expected bigdp:<positive layer width>"))
+    | _ ->
+        Error
+          (`Msg
+             "expected dp, dpp, dpp-nl, dpap-eb:<Te>, dpap-ld, fp or \
+              bigdp[:<width>]")
   in
   Arg.conv (parse, fun ppf a -> Fmt.string ppf (Sjos_core.Optimizer.name a))
 
@@ -74,7 +83,9 @@ let algo_opt =
     & opt algorithm_conv Sjos_core.Optimizer.Dpp
     & info [ "a"; "algorithm" ] ~docv:"ALGO"
         ~doc:
-          "Optimizer: dp, dpp (default), dpp-nl, dpap-eb:<Te>, dpap-ld or fp.")
+          "Optimizer: dp, dpp (default), dpp-nl, dpap-eb:<Te>, dpap-ld, fp or \
+           bigdp[:<width>] (the large-pattern subset-DP tier; exact searches \
+           switch to it automatically past 12 nodes).")
 
 let xpath_flag =
   Arg.(

@@ -9,6 +9,7 @@ type algorithm =
   | Dpap_eb of int
   | Dpap_ld
   | Fp
+  | Big_dp of int
 
 let name = function
   | Dp -> "DP"
@@ -17,9 +18,24 @@ let name = function
   | Dpap_eb te -> Printf.sprintf "DPAP-EB(%d)" te
   | Dpap_ld -> "DPAP-LD"
   | Fp -> "FP"
+  | Big_dp w -> Printf.sprintf "BigDP(%d)" w
 
 let default_te pat = Pattern.edge_count pat
 let all pat = [ Dp; Dpp; Dpap_eb (default_te pat); Dpap_ld; Fp ]
+
+(* Status-space searches explode combinatorially with pattern size; the
+   paper's queries top out at 7 nodes and the exact algorithms stay
+   comfortable a little past that.  Beyond the threshold, requests for an
+   exact status search are transparently re-tiered onto the subset DP,
+   which is exact on everything the status searches can actually finish
+   and stays sub-second at 30-40 nodes. *)
+let big_pattern_threshold = 12
+
+let effective pat = function
+  | Dp | Dpp | Dpp_no_lookahead
+    when Pattern.node_count pat > big_pattern_threshold ->
+      Big_dp Bigdp.default_width
+  | a -> a
 
 type result = {
   algorithm : algorithm;
@@ -34,9 +50,23 @@ type result = {
 }
 
 let optimize ?factors ?budget ~provider algorithm pat =
+  (* Defensive double of the {!Pattern.create} check: a pattern wide
+     enough to overflow the node bitmasks must never reach a search. *)
+  if Pattern.node_count pat > Pattern.max_nodes then
+    Sjos_guard.Error.fail
+      (Sjos_guard.Error.Invalid_request
+         (Printf.sprintf "pattern has %d nodes; the optimizer supports at most %d"
+            (Pattern.node_count pat) Pattern.max_nodes));
+  let requested = algorithm in
+  let algorithm = effective pat algorithm in
   let ctx = Search.make_ctx ?factors ?budget ~provider pat in
   let span =
-    Trace.begin_span "optimize" ~attrs:[ ("algorithm", Json.Str (name algorithm)) ]
+    Trace.begin_span "optimize"
+      ~attrs:
+        (("algorithm", Json.Str (name algorithm))
+        ::
+        (if requested = algorithm then []
+         else [ ("requested", Json.Str (name requested)) ]))
   in
   let t0 = Clock.now_ns () in
   let est_cost, plan =
@@ -47,6 +77,7 @@ let optimize ?factors ?budget ~provider algorithm pat =
     | Dpap_eb te -> Dpp.run ~expansion_bound:(Some te) ctx
     | Dpap_ld -> Dpp.run ~left_deep:true ctx
     | Fp -> Fp.run ctx
+    | Big_dp w -> Bigdp.run ~width:w ctx
   in
   let opt_seconds = Clock.elapsed_seconds ~since:t0 in
   let eff = ctx.Search.effort in
@@ -73,16 +104,25 @@ let optimize ?factors ?budget ~provider algorithm pat =
   }
 
 let is_exact = function
-  | Dp | Dpp | Dpp_no_lookahead -> true
+  | Dp | Dpp | Dpp_no_lookahead | Big_dp _ -> true
   | Dpap_eb _ | Dpap_ld | Fp -> false
 
 (* Anytime degradation: when the budget fires during an *exact* search,
-   retry under DPAP-EB with a small Te.  The fallback tier's work is
-   bounded by construction (at most Te expansions per level), so it runs
-   outside the exhausted budget — the whole point is to always come back
-   with *some* plan, mirroring how a bounded heuristic is the robust
-   fallback to the holistic search. *)
+   retry under a tier whose work is bounded *by construction*, so it can
+   run outside the exhausted budget — the whole point is to always come
+   back with *some* plan.  For paper-scale patterns that is DPAP-EB with
+   a small Te (at most Te expansions per level).  Past the big-pattern
+   threshold DPAP-EB is itself a status-space search and can blow up, so
+   big patterns degrade to a narrow BigDP beam instead: its layered
+   enumeration expands at most [width] masks per layer, O(width * n^2)
+   work total, and the built-in greedy incumbent guarantees a plan even
+   when the beam prunes everything. *)
 let fallback_te pat = max 1 (min 4 (default_te pat))
+let fallback_width = 16
+
+let fallback_algorithm pat =
+  if Pattern.node_count pat > big_pattern_threshold then Big_dp fallback_width
+  else Dpap_eb (fallback_te pat)
 
 let optimize_r ?factors ?(budget = Sjos_guard.Budget.unlimited) ~provider
     algorithm pat =
@@ -98,7 +138,7 @@ let optimize_r ?factors ?(budget = Sjos_guard.Budget.unlimited) ~provider
               ("from", Json.Str (name algorithm));
               ("resource", Json.Str (Sjos_guard.Budget.resource_name resource));
             ];
-        match optimize ?factors ~provider (Dpap_eb (fallback_te pat)) pat with
+        match optimize ?factors ~provider (fallback_algorithm pat) pat with
         | r -> Ok { r with degraded_from = Some algorithm }
         | exception Sjos_guard.Budget.Exhausted { resource; during } ->
             Error

@@ -11,6 +11,11 @@ type algorithm =
   | Dpap_eb of int  (** expansion bound [Te] per level (§3.3.1) *)
   | Dpap_ld  (** left-deep plans only (§3.3.2) *)
   | Fp  (** fully-pipelined plans only (§3.4) *)
+  | Big_dp of int
+      (** the large-pattern tier ({!Bigdp}): subset DP over connected
+          node-masks with the given per-layer width cap — exact on
+          small patterns, sub-second at 30-40 nodes where the status
+          searches are infeasible *)
 
 val name : algorithm -> string
 val all : Pattern.t -> algorithm list
@@ -19,6 +24,18 @@ val all : Pattern.t -> algorithm list
 
 val default_te : Pattern.t -> int
 (** The paper's default tuning: [Te] = number of edges. *)
+
+val big_pattern_threshold : int
+(** Node count above which requests for an exact status search (DP,
+    DPP, DPP′) are transparently re-tiered onto {!Big_dp} — the status
+    space explodes combinatorially past the paper's query sizes. *)
+
+val effective : Pattern.t -> algorithm -> algorithm
+(** The algorithm {!optimize} will actually run for this pattern: the
+    input, except that exact status searches on patterns wider than
+    {!big_pattern_threshold} become [Big_dp Bigdp.default_width].  The
+    returned {!result}'s [algorithm] field and the engine's plan-cache
+    key both use this, never the requested tier. *)
 
 type result = {
   algorithm : algorithm;
@@ -32,7 +49,7 @@ type result = {
   effort : Effort.t;  (** the full search-effort breakdown *)
   degraded_from : algorithm option;
       (** [Some a] when the budget fired during exact algorithm [a] and
-          the plan came from the DPAP-EB fallback tier instead *)
+          the plan came from the bounded fallback tier instead *)
 }
 
 val optimize :
@@ -55,9 +72,10 @@ val optimize_r :
   Pattern.t ->
   (result, Sjos_guard.Error.t) Stdlib.result
 (** Like {!optimize}, but budget exhaustion becomes a value.  When the
-    budget fires during an {e exact} search (DP, DPP, DPP′) the query
-    degrades to DPAP-EB with a capped [Te] — bounded work by
-    construction — and the result carries [degraded_from]; the
+    budget fires during an {e exact} search (DP, DPP, DPP′, BigDP) the
+    query degrades to a tier with work bounded by construction — DPAP-EB
+    with a capped [Te] at paper scale, a narrow BigDP beam past
+    {!big_pattern_threshold} — and the result carries [degraded_from]; the
     [guard.degraded] registry counter and an [optimizer.degraded] trace
     event record the fallback.  Exhaustion in an already-heuristic tier
     returns [Error (Budget_exhausted _)]. *)

@@ -34,6 +34,17 @@ let remaining_edges ctx (s : Status.t) =
   done;
   !acc
 
+(* The hot loops below resolve node→cluster through a dense array built
+   once per status ({!Status.cluster_map}) instead of a [List.find] per
+   lookup — the list scan is quadratic noise once patterns reach the
+   30-node tier. *)
+let joinable_m (cmap : Status.cluster Array.t) (e : Pattern.edge) =
+  let cu = cmap.(e.Pattern.anc) in
+  let cv = cmap.(e.Pattern.desc) in
+  cu.Status.mask <> cv.Status.mask
+  && cu.Status.order = e.Pattern.anc
+  && cv.Status.order = e.Pattern.desc
+
 let edge_joinable (s : Status.t) (e : Pattern.edge) =
   let cu = Status.cluster_of s e.Pattern.anc in
   let cv = Status.cluster_of s e.Pattern.desc in
@@ -43,7 +54,9 @@ let edge_joinable (s : Status.t) (e : Pattern.edge) =
 
 let is_deadend ctx (s : Status.t) =
   (not (Status.is_final s))
-  && not (List.exists (fun (_, e) -> edge_joinable s e) (remaining_edges ctx s))
+  &&
+  let cmap = Status.cluster_map ~n:(Pattern.node_count ctx.pat) s in
+  not (List.exists (fun (_, e) -> joinable_m cmap e) (remaining_edges ctx s))
 
 let useful_sort_targets ctx ~joined ~merged_mask =
   let useful = ref [] in
@@ -80,6 +93,7 @@ let expand ?(left_deep = false) ?(lookahead = false) ?(cost_bound = infinity)
   check_budget ctx;
   let eff = ctx.effort in
   eff.Effort.expanded <- eff.Effort.expanded + 1;
+  let cmap = Status.cluster_map ~n:(Pattern.node_count ctx.pat) s in
   let successors = ref [] in
   let emit status =
     (* Pruning Rule, applied at generation time: a successor whose Cost
@@ -97,9 +111,9 @@ let expand ?(left_deep = false) ?(lookahead = false) ?(cost_bound = infinity)
   in
   List.iter
     (fun (edge_idx, (e : Pattern.edge)) ->
-      if edge_joinable s e then begin
-        let cu = Status.cluster_of s e.Pattern.anc in
-        let cv = Status.cluster_of s e.Pattern.desc in
+      if joinable_m cmap e then begin
+        let cu = cmap.(e.Pattern.anc) in
+        let cv = cmap.(e.Pattern.desc) in
         (* Left-deep rule: after the move, at most one cluster (the growing
            node) may hold several pattern nodes — so the merge must absorb
            every existing composite cluster. *)
@@ -182,10 +196,11 @@ let finalize ctx (s : Status.t) =
   | _ -> invalid_arg "Search.finalize: status is not final"
 
 let ub_cost ctx (s : Status.t) =
+  let cmap = Status.cluster_map ~n:(Pattern.node_count ctx.pat) s in
   List.fold_left
     (fun acc (_, (e : Pattern.edge)) ->
-      let cu = Status.cluster_of s e.Pattern.anc in
-      let cv = Status.cluster_of s e.Pattern.desc in
+      let cu = cmap.(e.Pattern.anc) in
+      let cv = cmap.(e.Pattern.desc) in
       if cu.Status.mask = cv.Status.mask then acc
       else
         let merged = cu.Status.mask lor cv.Status.mask in

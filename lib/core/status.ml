@@ -4,19 +4,44 @@ open Sjos_plan
 
 type cluster = { mask : int; order : int; plan : Plan.t; card : float }
 type t = { clusters : cluster list; joined : int; cost : float }
-type key = (int * int) list
+type key = { parts : (int * int) list; kjoined : int }
 
-let key t = List.map (fun c -> (c.mask, c.order)) t.clusters
+let key t =
+  { parts = List.map (fun c -> (c.mask, c.order)) t.clusters;
+    kjoined = t.joined }
 
+(* Word-parallel popcount (SWAR): O(1) per word instead of one loop
+   iteration per bit — this runs on every expansion and every left-deep
+   check, and patterns can now reach 61 nodes. *)
 let popcount m =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go m 0
+  let m = m - ((m lsr 1) land 0x5555555555555555) in
+  let m = (m land 0x3333333333333333) + ((m lsr 2) land 0x3333333333333333) in
+  let m = (m + (m lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (m * 0x0101010101010101) lsr 56
 
 let level t = popcount t.joined
 let is_final t = match t.clusters with [ _ ] -> true | _ -> false
 
 let cluster_of t node =
   List.find (fun c -> c.mask land (1 lsl node) <> 0) t.clusters
+
+let cluster_map ~n t =
+  let map = Array.make n None in
+  List.iter
+    (fun c ->
+      let m = ref c.mask in
+      while !m <> 0 do
+        let low = !m land - !m in
+        (* index of the lowest set bit via de-looped popcount *)
+        map.(popcount (low - 1)) <- Some c;
+        m := !m lxor low
+      done)
+    t.clusters;
+  Array.map
+    (function
+      | Some c -> c
+      | None -> invalid_arg "Status.cluster_map: node in no cluster")
+    map
 
 let start ~factors ~provider pat =
   let n = Pattern.node_count pat in

@@ -23,10 +23,18 @@ type t = {
   cost : float;  (** accumulated cost from the start status *)
 }
 
-type key = (int * int) list
-(** Canonical identity of a status: the sorted [(mask, order)] pairs.
-    Two statuses with equal keys are the same search state and only the
-    cheaper is worth keeping. *)
+type key = { parts : (int * int) list; kjoined : int }
+(** Canonical identity of a status: the sorted [(mask, order)] pairs plus
+    the consumed-edge mask.  Two statuses with equal keys are the same
+    search state and only the cheaper is worth keeping.
+
+    For statuses {e reachable} from [start] on a tree pattern the edge
+    mask is derivable from the partition (a connected cluster of [k]
+    nodes has consumed exactly its [k-1] internal edges), but the key
+    must not rely on reachability: hand-built or corrupted statuses with
+    equal partitions and different remaining-edge sets would otherwise
+    collide in hash-based dedup and the survivor would corrupt the
+    search. *)
 
 val key : t -> key
 val level : t -> int
@@ -39,7 +47,14 @@ val cluster_of : t -> int -> cluster
 (** The cluster containing a pattern node.  Raises [Not_found] if absent
     (cannot happen for in-range nodes). *)
 
+val cluster_map : n:int -> t -> cluster array
+(** [cluster_map ~n t] is the node→cluster map as a dense array over the
+    [n] pattern nodes — build once per status, then every lookup is O(1)
+    instead of {!cluster_of}'s list scan.  Raises [Invalid_argument] if
+    some node below [n] is in no cluster. *)
+
 val popcount : int -> int
+(** Word-parallel (SWAR) population count. *)
 
 val start :
   factors:Sjos_cost.Cost_model.factors ->

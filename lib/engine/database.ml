@@ -154,7 +154,7 @@ let eff_grid t (opts : Query_opts.t) =
    entries keyed purely on algorithm + structure.  Chaos runs are never
    cached either way — a plan chosen under lying statistics must not leak
    into healthy queries. *)
-let cache_key t (opts : Query_opts.t) ~fingerprint =
+let cache_key t (opts : Query_opts.t) ~pat ~fingerprint =
   if
     opts.Query_opts.use_cache
     && Option.is_none opts.Query_opts.factors
@@ -163,11 +163,13 @@ let cache_key t (opts : Query_opts.t) ~fingerprint =
   then begin
     ignore t;
     (* the engine is part of the key: Auto and Binary may pick different
-       plans for the same (algorithm, structure) *)
+       plans for the same (algorithm, structure).  The algorithm is the
+       *effective* one — a DPP request on a large pattern runs (and
+       caches) as the BigDP tier, and the entry must say so. *)
     Some
       (Optimizer.engine_name opts.Query_opts.engine
       ^ "|"
-      ^ Optimizer.name opts.Query_opts.algorithm
+      ^ Optimizer.name (Optimizer.effective pat opts.Query_opts.algorithm)
       ^ "|" ^ fingerprint)
   end
   else None
@@ -201,7 +203,9 @@ let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
               {
                 Plan_cache.plan_text = Plan_io.to_string canon cplan;
                 est_cost = r.Optimizer.est_cost;
-                algorithm = Optimizer.name opts.Query_opts.algorithm;
+                algorithm =
+                  Optimizer.name
+                    (Optimizer.effective pat opts.Query_opts.algorithm);
               }
         | _ -> ());
         (r, false)
@@ -227,7 +231,8 @@ let resolve t ~(opts : Query_opts.t) ~pat ~canon ~from_canon ~to_canon ~key
               | Error msg -> corrupt k msg
               | Ok () ->
                   ( {
-                      Optimizer.algorithm = opts.Query_opts.algorithm;
+                      Optimizer.algorithm =
+                        Optimizer.effective pat opts.Query_opts.algorithm;
                       plan;
                       est_cost = entry.Plan_cache.est_cost;
                       plans_considered = 0;
@@ -284,7 +289,7 @@ let prepare ?(opts = Query_opts.default) t pat =
       (fun c -> Chaos.derive c ~key:fingerprint)
       opts.Query_opts.chaos
   in
-  let key = cache_key t opts ~fingerprint in
+  let key = cache_key t opts ~pat ~fingerprint in
   let provider = chaos_provider t ~opts ~chaos pat in
   let result, cached =
     resolve t ~opts ~pat ~canon ~from_canon ~to_canon ~key ~provider

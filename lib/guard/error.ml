@@ -76,6 +76,12 @@ let of_exn = function
   | Error t -> Some t
   | Budget.Exhausted { resource; during } ->
       Some (Budget_exhausted { resource; during })
+  (* Every [invalid_arg] in the engine marks a well-formed call with
+     out-of-range inputs (an oversized pattern, a bad node index, a
+     non-positive knob) — a caller error, not an engine invariant, so it
+     classes as a request error rather than [Internal].  This matches
+     the CLI, which has always exited 3 on [Invalid_argument]. *)
+  | Invalid_argument msg -> Some (Invalid_request msg)
   | Sjos_storage.Column_store.Io_error { path; reason } ->
       Some (Corrupt_input { source = path; reason })
   | _ -> None

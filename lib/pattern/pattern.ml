@@ -27,9 +27,21 @@ let name _t i =
   in
   go i ""
 
+(* Node sets, cluster masks and [(1 lsl n) - 1] full-masks all live in
+   one native [int]; [1 lsl (int_size - 1)] is the sign bit and
+   [int_size - 1] bits would make the full mask overflow to [-1]'s
+   neighborhood — so the last safely addressable node index is
+   [int_size - 3], i.e. 61 nodes on a 64-bit platform. *)
+let max_nodes = Sys.int_size - 2
+
 let create ?order_by ~labels ~edges () =
   let n = Array.length labels in
   if n = 0 then invalid_arg "Pattern.create: empty pattern";
+  if n > max_nodes then
+    invalid_arg
+      (Printf.sprintf
+         "Pattern.create: %d nodes exceed the %d-node bitmask limit" n
+         max_nodes);
   if Array.length edges <> n - 1 then
     invalid_arg "Pattern.create: a tree on n nodes has n-1 edges";
   (match order_by with

@@ -21,6 +21,13 @@ type edge = {
 
 type t
 
+val max_nodes : int
+(** Largest supported pattern size ([Sys.int_size - 2], 61 on 64-bit
+    platforms): node sets are native-[int] bitmasks and the full mask
+    [(1 lsl n) - 1] must not overflow.  {!create} rejects larger
+    patterns; without the check the optimizer's masks would silently
+    wrap and produce wrong plans. *)
+
 val create :
   ?order_by:int ->
   labels:Candidate.spec array ->

@@ -36,3 +36,26 @@ val of_tags : (Candidate.spec array -> Axes.axis array -> Pattern.t) ->
 val complete_tree : fanout:int -> depth:int -> Candidate.spec -> Axes.axis -> Pattern.t
 (** A complete tree pattern with uniform label and axis — the shape used in
     the paper's complexity analyses (§3.2, §3.4). *)
+
+(** {1 Seeded generator for large patterns}
+
+    Shape classes from "A Survey of XML Tree Patterns": deep [//]
+    chains, bushy stars, balanced binary branching, and uniform random
+    attachment, with wildcard labels, mixed axes and an occasional
+    order-by.  Drives the large-pattern optimizer tier's differential
+    tests and benchmarks at 15-40 nodes. *)
+
+type gen_shape = Chain | Star | Balanced | Mixed
+
+val gen_shape_name : gen_shape -> string
+(** ["chain"], ["star"], ["balanced"], ["mixed"]. *)
+
+val all_gen_shapes : gen_shape list
+(** The four classes, in declaration order. *)
+
+val generate : seed:int -> nodes:int -> gen_shape -> Pattern.t
+(** [generate ~seed ~nodes shape] builds a valid [nodes]-node pattern of
+    the class, deterministically from [(seed, nodes, shape)] — an inline
+    splitmix64 stream, bit-stable across platforms and OCaml versions.
+    Raises [Invalid_argument] when [nodes < 1] or above
+    {!Pattern.max_nodes} (via {!Pattern.create}). *)

@@ -317,6 +317,60 @@ def check_bench_twig(doc):
         need(shape, key, bool)
 
 
+def check_bench_bigopt(doc):
+    need(doc, "seed", int)
+    if need(doc, "width", int) <= 0:
+        raise CheckFailure("beam width must be positive")
+    diffs = nonempty(need(doc, "differential", list), "differential")
+    for row in diffs:
+        shape = need(row, "shape", str)
+        n = need(row, "nodes", int)
+        if n > 10:
+            raise CheckFailure(f"{shape}/{n}: differential cell above 10 nodes")
+        need(row, "dp_cost", NUM)
+        need(row, "bigdp_cost", NUM)
+        if not need(row, "equal", bool):
+            raise CheckFailure(f"{shape}/{n}: BigDP cost != DP cost")
+    scaling = nonempty(need(doc, "scaling", list), "scaling")
+    saw_30 = False
+    for row in scaling:
+        shape = need(row, "shape", str)
+        n = need(row, "nodes", int)
+        need(row, "cost", NUM)
+        seconds = need(row, "seconds", NUM)
+        if need(row, "expanded", int) <= 0:
+            raise CheckFailure(f"{shape}/{n}: zero expansions")
+        if need(row, "considered", int) <= 0:
+            raise CheckFailure(f"{shape}/{n}: zero plans considered")
+        if not need(row, "deterministic", bool):
+            raise CheckFailure(f"{shape}/{n}: nondeterministic work")
+        if n == 30:
+            saw_30 = True
+            if seconds >= 1.0:
+                raise CheckFailure(f"{shape}/{n}: {seconds}s at 30 nodes")
+    if not saw_30:
+        raise CheckFailure("no 30-node scaling cell")
+    ladder = nonempty(need(doc, "dp_ladder", list), "dp_ladder")
+    for rung in ladder:
+        need(rung, "nodes", int)
+        need(rung, "seconds", NUM)
+    extrapolated = need(doc, "dp_extrapolated_seconds", NUM)
+    if extrapolated <= 60.0:
+        raise CheckFailure(
+            f"DP extrapolates to only {extrapolated}s at 30 nodes"
+        )
+    shape = need(doc, "shape", dict)
+    for key in (
+        "cost_equality_small",
+        "subsecond_at_30",
+        "deterministic_work",
+        "dp_infeasible_at_30",
+        "table2_exact",
+        "pass",
+    ):
+        need(shape, key, bool)
+
+
 CHECKERS = {
     "BENCH_1.json": check_bench_1,
     "BENCH_CACHE.json": check_bench_cache,
@@ -326,6 +380,7 @@ CHECKERS = {
     "BENCH_IO.json": check_bench_io,
     "BENCH_SERVE.json": check_bench_serve,
     "BENCH_TWIG.json": check_bench_twig,
+    "BENCH_BIGOPT.json": check_bench_bigopt,
 }
 
 

@@ -22,5 +22,6 @@ let () =
       ("serve", Test_serve.suite);
       ("work", Test_work.suite);
       ("twig", Test_twig.suite);
+      ("bigopt", Test_bigopt.suite);
       ("properties", Test_properties.suite);
     ]
